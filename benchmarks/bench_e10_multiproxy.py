@@ -1,0 +1,96 @@
+"""E10 — more than one proxy per site.
+
+"At least one proxy server per site is required to compose the grid,
+although configurations with more than one proxy server per site are
+also accepted."
+
+The proxy is the one place all inter-site traffic funnels through, so it
+is the natural bottleneck; extra proxies stripe the edge traffic.  On
+the simulated network: site A pushes a fixed volume to site B over k
+parallel proxy pairs (k WAN links), messages striped round-robin.
+Expected shape: transfer completion time ~ 1/k while the WAN links are
+the bottleneck.
+"""
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.simulation.engine import Simulator
+from repro.simulation.network import WAN_PROFILE, Network
+
+MESSAGES = 200
+MESSAGE_BYTES = 64 * 1024
+
+
+def run_transfer(proxies: int) -> float:
+    """Completion time of the striped transfer with k proxy pairs."""
+    sim = Simulator()
+    net = Network(sim)
+    arrivals = []
+    for k in range(proxies):
+        net.add_host(f"pa{k}")
+        net.add_host(f"pb{k}")
+        net.connect(
+            f"pa{k}",
+            f"pb{k}",
+            latency=WAN_PROFILE["latency"],
+            bandwidth=WAN_PROFILE["bandwidth"],
+        )
+        net.hosts[f"pb{k}"].on_packet(lambda p: arrivals.append(sim.now))
+    for index in range(MESSAGES):
+        k = index % proxies
+        net.hosts[f"pa{k}"].send(f"pb{k}", size=MESSAGE_BYTES)
+    sim.run()
+    assert len(arrivals) == MESSAGES
+    return max(arrivals)
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    base = None
+    for proxies in [1, 2, 3, 4]:
+        completion = run_transfer(proxies)
+        base = base or completion
+        rows.append(
+            {
+                "proxies_per_site": proxies,
+                "transfer_complete_s": completion,
+                "speedup_x": base / completion,
+                "aggregate_MBps": MESSAGES * MESSAGE_BYTES / completion / 1e6,
+            }
+        )
+    return rows
+
+
+def check_shape(rows: list[dict]) -> None:
+    speedups = [row["speedup_x"] for row in rows]
+    assert speedups == sorted(speedups)
+    # Near-linear striping while the WAN is the bottleneck.
+    assert speedups[1] > 1.8
+    assert speedups[3] > 3.5
+
+
+@pytest.mark.benchmark(group="e10-multiproxy")
+def test_e10_proxy_striping(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e10_multiproxy",
+        "E10: inter-site transfer vs proxies per site (simulated WAN)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e10-multiproxy")
+def test_e10_directory_supports_extra_proxies(benchmark):
+    """Membership bookkeeping for multi-proxy sites (runtime path)."""
+    from repro.core.routing import GridDirectory
+
+    def run():
+        directory = GridDirectory()
+        directory.register_site("A", "proxy.A", "addr.A")
+        for k in range(3):
+            directory.register_extra_proxy("A", f"proxy.A{k}", f"addr.A{k}")
+        assert len(directory.proxies_of_site("A")) == 4
+
+    benchmark(run)

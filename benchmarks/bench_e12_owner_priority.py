@@ -1,0 +1,90 @@
+"""E12 — owner priority: grid work yields to the machine's owner.
+
+A grid requirement the paper states up front: "the priority of the
+resource's utilization by the user of the machine and not by third party
+applications".
+
+On the simulator, a fixed grid job runs on a workstation whose owner is
+active a sweep of duty cycles; the owner's foreground share is absolute.
+Expected shape: grid-job slowdown tracks 1 / (1 - duty·share)
+analytically, and the owner's own work never slows down.
+"""
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStream
+from repro.simulation.resources import NodeResources, OwnerActivity
+
+GRID_WORK = 500.0  # CPU-seconds
+BUSY_FRACTION = 0.9
+
+
+def run_case(duty_cycle: float, seed: int = 11) -> dict:
+    sim = Simulator()
+    node = NodeResources(sim, "workstation", cpu_speed=1.0)
+    if duty_cycle > 0:
+        mean_busy = 30.0
+        mean_idle = mean_busy * (1 - duty_cycle) / duty_cycle
+        owner = OwnerActivity(
+            RandomStream(seed, f"owner-{duty_cycle}"),
+            mean_idle=mean_idle,
+            mean_busy=mean_busy,
+            busy_fraction=BUSY_FRACTION,
+        )
+        sim.spawn(owner.run(node))
+    done = node.submit(cpu_work=GRID_WORK)
+    sim.run(until=1_000_000.0)
+    runtime = done.value
+    expected_slowdown = 1.0 / (1.0 - duty_cycle * BUSY_FRACTION)
+    return {
+        "owner_duty": duty_cycle,
+        "grid_runtime_s": runtime,
+        "slowdown_x": runtime / GRID_WORK,
+        "analytic_x": expected_slowdown,
+        "owner_share_kept": BUSY_FRACTION if duty_cycle > 0 else 0.0,
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [run_case(duty) for duty in [0.0, 0.2, 0.4, 0.6, 0.8]]
+
+
+def check_shape(rows: list[dict]) -> None:
+    slowdowns = [row["slowdown_x"] for row in rows]
+    # Monotone: the more the owner works, the slower the grid job.
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[0] == pytest.approx(1.0, abs=0.01)
+    # Measured slowdown tracks the analytic owner-priority law within
+    # stochastic noise of the on/off owner process.
+    for row in rows[1:]:
+        assert row["slowdown_x"] == pytest.approx(row["analytic_x"], rel=0.35)
+
+
+@pytest.mark.benchmark(group="e12-owner-priority")
+def test_e12_owner_priority(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e12_owner_priority",
+        "E12: grid-job slowdown under owner activity (share kept = 0.9)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e12-owner-priority")
+def test_e12_owner_work_unaffected(benchmark):
+    """The owner's own work rate is independent of grid load."""
+
+    def run():
+        sim = Simulator()
+        node = NodeResources(sim, "ws", cpu_speed=1.0)
+        # Saturate the node with grid jobs.
+        for _ in range(8):
+            node.submit(cpu_work=1000.0)
+        node.set_owner_load(0.5)  # the owner takes half the CPU — instantly
+        assert node.grid_rate() == pytest.approx(0.5)
+        sim.run(until=10.0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""E1 — Figure 1: grid construction and interconnection.
+
+Reproduces the paper's "general view of the architecture": N sites, one
+proxy each, a full mesh of authenticated tunnels, full reachability.
+Series: sites → construction time, tunnels established, control
+round-trip latency.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.core.grid import Grid
+from repro.core.protocol import Op
+
+
+def build_grid(sites: int, nodes: int = 2) -> Grid:
+    grid = Grid()
+    for index in range(sites):
+        grid.add_site(f"s{index}", nodes=nodes)
+    grid.connect_all()
+    return grid
+
+
+def run_experiment(site_counts=(2, 4, 8)) -> list[dict]:
+    rows = []
+    for sites in site_counts:
+        start = time.perf_counter()
+        grid = build_grid(sites)
+        built = time.perf_counter() - start
+        try:
+            tunnels = sum(len(grid.proxy_of(s).peers()) for s in grid.sites) // 2
+            # Every site pair must be reachable over the control protocol.
+            probe_start = time.perf_counter()
+            reply = grid.proxy_of("s0").request(
+                f"proxy.s{sites - 1}", Op.PING, timeout=30.0
+            )
+            ping = time.perf_counter() - probe_start
+            assert reply.op == Op.PONG
+            rows.append(
+                {
+                    "sites": sites,
+                    "expected_tunnels": sites * (sites - 1) // 2,
+                    "tunnels": tunnels,
+                    "build_seconds": built,
+                    "control_rtt_ms": ping * 1000,
+                }
+            )
+        finally:
+            grid.shutdown()
+    return rows
+
+
+def check_shape(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["tunnels"] == row["expected_tunnels"]
+    # Construction cost grows with the tunnel mesh.
+    assert rows[-1]["build_seconds"] > rows[0]["build_seconds"] * 0.5
+
+
+@pytest.mark.benchmark(group="e1-topology")
+def test_e1_grid_construction(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e1_topology",
+        "E1 (Fig. 1): proxies interconnect N sites into one grid",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e1-topology")
+def test_e1_single_tunnel_setup(benchmark):
+    """Cost of adding one more site pair (handshake + certificates)."""
+
+    def connect_pair():
+        grid = build_grid(2, nodes=1)
+        grid.shutdown()
+
+    benchmark.pedantic(connect_pair, rounds=3, iterations=1)

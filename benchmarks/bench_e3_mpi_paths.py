@@ -1,0 +1,115 @@
+"""E3 — Figure 3a vs 3b: MPI locally vs through the proxy multiplexer.
+
+The same ping-pong application runs on one site (direct LAN delivery)
+and across two sites (virtual slaves + encrypted tunnel).  Series:
+message size → round-trip latency on each path, plus the multiplexer's
+forwarding accounting.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.core.grid import Grid
+
+SIZES = [64, 1024, 16 * 1024]
+ROUNDS = 30
+
+
+def ping_pong(comm, payload_bytes, rounds):
+    payload = b"\x5a" * payload_bytes
+    if comm.rank == 0:
+        start = time.perf_counter()
+        for _ in range(rounds):
+            comm.send(payload, dest=1, tag=1)
+            comm.recv(source=1, tag=2, timeout=120.0)
+        return (time.perf_counter() - start) / rounds
+    for _ in range(rounds):
+        comm.recv(source=0, tag=1, timeout=120.0)
+        comm.send(payload, dest=0, tag=2)
+    return None
+
+
+def run_experiment() -> list[dict]:
+    local_grid = Grid()
+    local_grid.add_site("one", nodes=2)
+    remote_grid = Grid()
+    remote_grid.add_site("left", nodes=1)
+    remote_grid.add_site("right", nodes=1)
+    remote_grid.connect_all()
+    rows = []
+    try:
+        for size in SIZES:
+            local = local_grid.run_mpi(
+                ping_pong, nprocs=2, args=(size, ROUNDS), timeout=300.0
+            )
+            local.raise_first()
+            remote = remote_grid.run_mpi(
+                ping_pong, nprocs=2, args=(size, ROUNDS), timeout=300.0
+            )
+            remote.raise_first()
+            local_rtt = local.returns[0]
+            remote_rtt = remote.returns[0]
+            rows.append(
+                {
+                    "bytes": size,
+                    "local_rtt_us": local_rtt * 1e6,
+                    "proxied_rtt_us": remote_rtt * 1e6,
+                    "proxy_overhead_x": remote_rtt / local_rtt,
+                }
+            )
+    finally:
+        local_grid.shutdown()
+        remote_grid.shutdown()
+    return rows
+
+
+def check_shape(rows: list[dict]) -> None:
+    # The tunneled path pays for serialisation + encryption at the edges;
+    # the local path must stay cheaper at every size (Fig. 3a vs 3b).
+    for row in rows:
+        assert row["proxy_overhead_x"] > 1.0, row
+
+
+@pytest.mark.benchmark(group="e3-mpi-paths")
+def test_e3_local_vs_proxied(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e3_mpi_paths",
+        "E3 (Fig. 3a/3b): MPI ping-pong, direct LAN vs proxy tunnel",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e3-mpi-paths")
+def test_e3_local_pingpong_latency(benchmark):
+    grid = Grid()
+    grid.add_site("one", nodes=2)
+
+    def run():
+        result = grid.run_mpi(ping_pong, nprocs=2, args=(1024, 5), timeout=120.0)
+        result.raise_first()
+
+    try:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        grid.shutdown()
+
+
+@pytest.mark.benchmark(group="e3-mpi-paths")
+def test_e3_tunneled_pingpong_latency(benchmark):
+    grid = Grid()
+    grid.add_site("left", nodes=1)
+    grid.add_site("right", nodes=1)
+    grid.connect_all()
+
+    def run():
+        result = grid.run_mpi(ping_pong, nprocs=2, args=(1024, 5), timeout=120.0)
+        result.raise_first()
+
+    try:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        grid.shutdown()

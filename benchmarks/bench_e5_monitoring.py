@@ -1,0 +1,111 @@
+"""E5 — distributed vs centralised monitoring control overhead.
+
+"This approach reduces the overhead in the control communication, since
+it is not always necessary to check the grid's overall status, but only
+that of some of the sites."
+
+Both monitors answer the same query mix (mostly single-site questions,
+occasionally a global compilation) over the same synthetic grid.
+Series: grid size → control queries sent by each architecture.
+Expected shape: the distributed design's query count scales with *sites
+touched*; the centralised design's scales with *total nodes*.
+"""
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.baselines.central import CentralizedMonitor
+from repro.control.monitor import GlobalStatusCompiler
+from repro.simulation.randomness import RandomStream
+from repro.workloads.generators import synthetic_status
+
+
+class SteppingClock:
+    """Advances a fixed step per query so TTLs expire predictably."""
+
+    def __init__(self, step: float = 5.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self) -> None:
+        self.now += self.step
+
+
+def run_mix(sites: int, nodes_per_site: int, queries: int = 200) -> dict:
+    rng = RandomStream(42, f"e5-{sites}-{nodes_per_site}")
+    status = synthetic_status(sites, nodes_per_site, rng)
+    site_names = sorted(status)
+
+    dist_clock = SteppingClock()
+    distributed = GlobalStatusCompiler(
+        site_names, lambda s: status[s], dist_clock, ttl=30.0
+    )
+    cent_clock = SteppingClock()
+    nodes_by_site = {s: [e["node"] for e in entries] for s, entries in status.items()}
+    node_entries = {e["node"]: e for entries in status.values() for e in entries}
+    centralized = CentralizedMonitor(
+        nodes_by_site, lambda n: node_entries[n], cent_clock, ttl=30.0
+    )
+
+    query_rng = RandomStream(7, f"e5-queries-{sites}")
+    for _ in range(queries):
+        if query_rng.bernoulli(0.9):  # the common case: one site's status
+            site = query_rng.choice(site_names)
+            distributed.site_status(site)
+            centralized.site_status(site)
+        else:  # the occasional global compilation
+            distributed.global_status()
+            centralized.global_status()
+        dist_clock.advance()
+        cent_clock.advance()
+
+    return {
+        "sites": sites,
+        "nodes_total": sites * nodes_per_site,
+        "distributed_queries": distributed.queries_sent,
+        "centralized_queries": centralized.queries_sent,
+        "query_ratio": centralized.queries_sent / max(distributed.queries_sent, 1),
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [run_mix(sites, 32) for sites in [2, 4, 8, 16, 32]]
+
+
+def check_shape(rows: list[dict]) -> None:
+    for row in rows:
+        # Per-site aggregation always beats per-node polling.
+        assert row["distributed_queries"] < row["centralized_queries"]
+    # The gap is the per-site node count (32 here): roughly constant
+    # ratio across grid sizes, and decisively large.
+    assert all(row["query_ratio"] > 8.0 for row in rows)
+
+
+@pytest.mark.benchmark(group="e5-monitoring")
+def test_e5_control_overhead(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e5_monitoring",
+        "E5: control queries, distributed per-site vs centralised per-node",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e5-monitoring")
+def test_e5_distributed_query_cost(benchmark):
+    rng = RandomStream(1, "e5-micro")
+    status = synthetic_status(8, 32, rng)
+    clock = SteppingClock()
+    compiler = GlobalStatusCompiler(
+        sorted(status), lambda s: status[s], clock, ttl=0.0
+    )
+
+    def one_site_query():
+        compiler.site_status("site3")
+        clock.advance()
+
+    benchmark(one_site_query)

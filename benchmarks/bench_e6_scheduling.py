@@ -1,0 +1,118 @@
+"""E6 — round-robin vs load-balanced scheduling.
+
+"In its original form, the MPI uses the round-robin method to distribute
+the processes among the nodes"; the paper's scheduler instead "provides
+balanced process distribution using the grid's status information".
+
+Both schedulers place the same heavy-tailed job stream on the same grid;
+the assignments then replay on the discrete-event simulator (per-node
+FIFO queues) to obtain true makespans.  Swept over node heterogeneity.
+Expected shape: parity on a homogeneous grid, load balancing winning by
+a growing factor as speeds diverge.
+"""
+
+import pytest
+
+from benchmarks.common import save_table
+from repro.control.scheduler import (
+    Job,
+    LoadBalancedScheduler,
+    NodeView,
+    RoundRobinScheduler,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStream
+from repro.simulation.resources import NodeResources
+from repro.workloads.generators import JobStreamSpec, generate_job_stream
+
+HETEROGENEITY = {
+    "uniform (1x)": [1.0] * 6,
+    "mild (2x)": [1.0, 1.0, 1.0, 1.0, 2.0, 2.0],
+    "strong (4x)": [0.5, 0.5, 1.0, 1.0, 2.0, 4.0],
+    "extreme (16x)": [0.25, 0.25, 0.5, 1.0, 2.0, 4.0],
+}
+
+
+def replay_fifo(assignments, jobs_by_id, speeds) -> float:
+    sim = Simulator()
+    nodes = {
+        name: NodeResources(sim, name, cpu_speed=speed)
+        for name, speed in speeds.items()
+    }
+    queues: dict[str, list[float]] = {name: [] for name in speeds}
+    for job_id, node in assignments:
+        queues[node].append(jobs_by_id[job_id].work)
+
+    def drain(node, works):
+        for work in works:
+            yield node.submit(cpu_work=work)
+
+    for name, works in queues.items():
+        if works:
+            sim.spawn(drain(nodes[name], works), name=f"drain-{name}")
+    return sim.run()
+
+
+def run_case(label: str, speeds: list[float]) -> dict:
+    stream = generate_job_stream(
+        JobStreamSpec(count=150, work_shape=1.4, work_minimum=5.0, ram_bytes=0),
+        RandomStream(2003, f"e6-{label}"),
+    )
+    jobs = [a.job for a in stream]
+    jobs_by_id = {j.job_id: j for j in jobs}
+
+    def views():
+        return [
+            NodeView(name=f"n{i}", site="grid", speed=s)
+            for i, s in enumerate(speeds)
+        ]
+
+    speed_map = {f"n{i}": s for i, s in enumerate(speeds)}
+    rr = RoundRobinScheduler(views())
+    lb = LoadBalancedScheduler(views())
+    for job in jobs:
+        rr.assign(job)
+        lb.assign(job)
+    rr_makespan = replay_fifo(rr.assignments, jobs_by_id, speed_map)
+    lb_makespan = replay_fifo(lb.assignments, jobs_by_id, speed_map)
+    return {
+        "grid": label,
+        "rr_makespan_s": rr_makespan,
+        "lb_makespan_s": lb_makespan,
+        "lb_speedup_x": rr_makespan / lb_makespan,
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [run_case(label, speeds) for label, speeds in HETEROGENEITY.items()]
+
+
+def check_shape(rows: list[dict]) -> None:
+    # LB never loses, and its advantage grows with heterogeneity.
+    speedups = [row["lb_speedup_x"] for row in rows]
+    assert all(s >= 0.99 for s in speedups)
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.5  # decisive on the extreme grid
+
+
+@pytest.mark.benchmark(group="e6-scheduling")
+def test_e6_rr_vs_lb_makespan(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check_shape(rows)
+    save_table(
+        "e6_scheduling",
+        "E6: makespan, round-robin vs load-balanced, by heterogeneity",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e6-scheduling")
+def test_e6_assignment_throughput(benchmark):
+    """Scheduler decision cost per job (the online path)."""
+    views = [
+        NodeView(name=f"n{i}", site="grid", speed=1.0 + (i % 4)) for i in range(64)
+    ]
+    scheduler = LoadBalancedScheduler(views)
+    jobs = iter(Job(work=float(i % 17 + 1)) for i in range(1_000_000))
+
+    benchmark(lambda: scheduler.assign(next(jobs)))

@@ -1,0 +1,59 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment produces a small table (list of row dicts).  The
+helpers here format it, write it under ``benchmarks/results/`` (text and
+JSON), and echo it to stdout — run ``python benchmarks/run_all.py`` to
+see every table, or read the files after ``pytest benchmarks/
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(title: str, rows: list[dict[str, Any]]) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0])
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    lines = [title, ""]
+    lines.append("  ".join(col.ljust(widths[col]) for col in columns))
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_table(name: str, title: str, rows: list[dict[str, Any]]) -> str:
+    """Persist the table (txt + json) and return the rendered text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = format_table(title, rows)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps({"title": title, "rows": rows}, indent=2)
+    )
+    print("\n" + text)
+    return text

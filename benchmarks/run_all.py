@@ -1,0 +1,70 @@
+"""Run every experiment and print its table (no pytest needed).
+
+Usage:  python benchmarks/run_all.py [e4 e6 ...]
+
+Each experiment module exposes ``run_experiment`` (plus shape checks);
+this driver executes them in order and prints the same tables the
+pytest benchmarks save under benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from benchmarks.common import format_table
+
+
+def main(selected: list[str]) -> int:
+    import benchmarks.bench_e1_topology as e1
+    import benchmarks.bench_e2_layers as e2
+    import benchmarks.bench_e3_mpi_paths as e3
+    import benchmarks.bench_e4_edge_tunneling as e4
+    import benchmarks.bench_e5_monitoring as e5
+    import benchmarks.bench_e6_scheduling as e6
+    import benchmarks.bench_e7_failures as e7
+    import benchmarks.bench_e8_tickets as e8
+    import benchmarks.bench_e9_handshake as e9
+    import benchmarks.bench_e10_multiproxy as e10
+    import benchmarks.bench_e11_isolation as e11
+    import benchmarks.bench_e12_owner_priority as e12
+
+    experiments = {
+        "e1": lambda: [("E1 (Fig. 1): grid construction", e1.run_experiment())],
+        "e2": lambda: [("E2 (Fig. 2): layer costs", e2.run_experiment())],
+        "e3": lambda: [("E3 (Fig. 3a/3b): MPI paths", e3.run_experiment())],
+        "e4": lambda: (
+            lambda model: [
+                ("E4a: crypto work vs cluster size", e4.sweep_cluster_size(model)),
+                ("E4b: crypto work vs locality", e4.sweep_locality(model)),
+            ]
+        )(e4.calibrate_cost_model()),
+        "e5": lambda: [("E5: monitoring overhead", e5.run_experiment())],
+        "e6": lambda: [("E6: RR vs LB makespan", e6.run_experiment())],
+        "e7": lambda: [
+            ("E7a: capacity after failure", e7.sweep_capacity()),
+            ("E7b: detection latency", e7.sweep_detection()),
+        ],
+        "e8": lambda: [("E8: ticket amortisation", e8.run_experiment())],
+        "e9": lambda: [
+            ("E9a: handshake cost", e9.run_experiment()),
+            ("E9b: record throughput", e9.record_throughput()),
+        ],
+        "e10": lambda: [("E10: proxies per site", e10.run_experiment())],
+        "e11": lambda: [("E11: crash isolation", e11.run_experiment())],
+        "e12": lambda: [("E12: owner priority", e12.run_experiment())],
+    }
+    wanted = selected or list(experiments)
+    for name in wanted:
+        if name not in experiments:
+            print(f"unknown experiment: {name!r} (know {sorted(experiments)})")
+            return 1
+        start = time.perf_counter()
+        for title, rows in experiments[name]():
+            print(format_table(title, rows))
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,90 @@
+"""Round-robin vs load-balanced scheduling on a heterogeneous grid.
+
+The paper: "In its original form, the MPI uses the round-robin method to
+distribute the processes among the nodes", and proposes a load-balancing
+scheduler using the grid's status information instead.  This example
+drives both schedulers with the same heavy-tailed job stream over a grid
+whose nodes differ 8× in speed, then replays the assignments on the
+discrete-event simulator to get true makespans.
+
+Run:  python examples/load_balancing.py
+"""
+
+from repro.control.scheduler import (
+    LoadBalancedScheduler,
+    NodeView,
+    RoundRobinScheduler,
+)
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStream
+from repro.simulation.resources import NodeResources
+from repro.workloads.generators import JobStreamSpec, generate_job_stream
+
+
+def make_nodes():
+    """A deliberately lopsided grid: workstations next to a fast cluster."""
+    views = []
+    for index, speed in enumerate([0.5, 0.5, 1.0, 1.0, 2.0, 4.0]):
+        views.append(NodeView(name=f"n{index}", site="grid", speed=speed))
+    return views
+
+
+def replay(assignments, jobs_by_id, speeds) -> float:
+    """Run the assignment on the simulator; returns the makespan.
+
+    Each node works through its queue FIFO, one job at a time — the
+    execution model a batch node presents.
+    """
+    sim = Simulator()
+    nodes = {
+        name: NodeResources(sim, name, cpu_speed=speed)
+        for name, speed in speeds.items()
+    }
+    queues: dict[str, list[float]] = {name: [] for name in speeds}
+    for job_id, node_name in assignments:
+        queues[node_name].append(jobs_by_id[job_id].work)
+
+    def drain(node, works):
+        for work in works:
+            yield node.submit(cpu_work=work)
+
+    for name, works in queues.items():
+        if works:
+            sim.spawn(drain(nodes[name], works), name=f"drain-{name}")
+    return sim.run()
+
+
+def main() -> None:
+    stream = generate_job_stream(
+        JobStreamSpec(count=120, work_shape=1.4, work_minimum=5.0, ram_bytes=0),
+        RandomStream(2003, "lb-demo"),
+    )
+    jobs = [arrival.job for arrival in stream]
+    jobs_by_id = {job.job_id: job for job in jobs}
+    total_work = sum(job.work for job in jobs)
+    print(f"{len(jobs)} jobs, {total_work:.0f} CPU-seconds of work "
+          f"(heavy-tailed: largest {max(j.work for j in jobs):.0f}s)")
+
+    speeds = {view.name: view.speed for view in make_nodes()}
+    print(f"nodes: {speeds}")
+
+    results = {}
+    for label, scheduler_cls in [
+        ("round-robin ", RoundRobinScheduler),
+        ("load-balance", LoadBalancedScheduler),
+    ]:
+        scheduler = scheduler_cls(make_nodes())
+        for job in jobs:
+            scheduler.assign(job)
+        makespan = replay(scheduler.assignments, jobs_by_id, speeds)
+        results[label] = makespan
+        print(f"{label}: makespan {makespan:8.1f}s "
+              f"(model estimate {scheduler.makespan_estimate():.1f}s)")
+
+    speedup = results["round-robin "] / results["load-balance"]
+    print(f"\nload balancing finishes {speedup:.2f}x sooner on this grid —")
+    print("the gap grows with node heterogeneity and job-size skew.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Distributed monitoring, failure detection, and the web interface.
+
+Shows the layer-3 services on a live grid:
+
+1. per-site status collection with on-demand global compilation
+   (and how a one-site query touches one proxy only);
+2. the resource-location service finding stations by capability;
+3. the failure detector noticing a dead proxy;
+4. the web access interface serving the same data over HTTP.
+
+Run:  python examples/monitoring_and_web.py
+"""
+
+import json
+import time
+import urllib.request
+
+from repro.control.api import GridApi
+from repro.control.failure import FailureDetector
+from repro.control.info import ResourceLocator, ResourceQuery
+from repro.core.grid import Grid
+from repro.ui.web import GridWebServer
+
+
+def main() -> None:
+    grid = Grid()
+    grid.add_site("alpha", nodes=3, node_speeds=[1.0, 2.0, 4.0])
+    grid.add_site("beta", nodes=2, node_speeds=[1.0, 1.0])
+    grid.connect_all()
+    api = GridApi(grid)
+
+    print("== distributed status collection ==")
+    proxy = grid.proxy_of("alpha")
+    peer_status = proxy.query_peer_status("proxy.beta")
+    print(f"alpha's proxy asked beta's proxy: {len(peer_status)} stations "
+          f"(one control round-trip, no node was contacted directly)")
+    status = api.grid_state()
+    print(f"global compilation: "
+          f"{sum(len(v) for v in status.values())} stations from "
+          f"{len(status)} sites")
+
+    print("\n== resource location ==")
+    locator = ResourceLocator(status)
+    fast = locator.find(ResourceQuery(min_cpu_speed=2.0, count=5))
+    print("stations with cpu_speed >= 2.0:",
+          [e["node"] for e in fast])
+
+    print("\n== failure detection ==")
+    detector = FailureDetector(time.time, suspect_after=0.2, dead_after=0.5)
+    detector.watch("proxy.beta")
+    detector.on_dead.append(lambda p: print(f"detector: {p} declared DEAD"))
+    # Silence from beta: no heartbeats arrive.
+    time.sleep(0.6)
+    detector.check()
+    print(f"state of proxy.beta: {detector.state_of('proxy.beta').value}")
+    detector.heard_from("proxy.beta")
+    print(f"after a heartbeat: {detector.state_of('proxy.beta').value}")
+
+    print("\n== the web access interface ==")
+    with GridWebServer(grid) as server:
+        print(f"serving at {server.url}")
+        with urllib.request.urlopen(f"{server.url}/api/summary", timeout=10) as r:
+            print("GET /api/summary ->", json.loads(r.read()))
+        with urllib.request.urlopen(
+            f"{server.url}/api/station?node=alpha.n2", timeout=10
+        ) as r:
+            station = json.loads(r.read())
+            print(f"GET /api/station?node=alpha.n2 -> cpu×{station['cpu_speed']}, "
+                  f"{station['ram_free'] >> 20} MiB free")
+
+    grid.shutdown()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

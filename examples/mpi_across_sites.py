@@ -1,0 +1,90 @@
+"""Unmodified MPI across the grid: the paper's Figure 3 in action.
+
+The same MPI program runs twice:
+
+* on a single site — every message is delivered directly on the LAN
+  (Fig. 3a);
+* across three sites — the proxies create per-application virtual
+  slaves and multiplex the cross-site traffic through the secure
+  tunnels (Fig. 3b).
+
+The application code does not change between the runs: that is the
+paper's transparency claim.  Afterwards we print what the virtual
+slaves forwarded.
+
+Run:  python examples/mpi_across_sites.py
+"""
+
+import random
+
+from repro.core.grid import Grid
+from repro.mpi.datatypes import SUM
+
+
+def estimate_pi(comm, samples_per_rank=50_000):
+    """Monte-Carlo pi — ordinary MPI code, knows nothing about proxies."""
+    rng = random.Random(7_000 + comm.rank)
+    hits = sum(
+        1
+        for _ in range(samples_per_rank)
+        if rng.random() ** 2 + rng.random() ** 2 <= 1.0
+    )
+    total_hits = comm.allreduce(hits, SUM, timeout=120.0)
+    return 4.0 * total_hits / (samples_per_rank * comm.size)
+
+
+def run_single_site() -> None:
+    print("== Fig. 3a: one site, all-local delivery ==")
+    grid = Grid()
+    grid.add_site("cluster", nodes=6)
+    try:
+        result = grid.run_mpi(estimate_pi, nprocs=6, timeout=300.0)
+        result.raise_first()
+        print(f"pi ≈ {result.returns[0]:.4f} on placement {result.placement}")
+    finally:
+        grid.shutdown()
+
+
+def run_across_sites() -> None:
+    print("\n== Fig. 3b: three sites, proxy-multiplexed tunnels ==")
+    grid = Grid()
+    grid.add_site("north", nodes=2)
+    grid.add_site("south", nodes=2)
+    grid.add_site("west", nodes=2)
+    grid.connect_all()
+
+    slave_report = {}
+
+    def instrumented(comm):
+        value = estimate_pi(comm)
+        if comm.rank == 0:
+            proxy = grid.proxy_of("north")
+            with proxy._space_lock:
+                space = next(iter(proxy._spaces.values()))
+            slave_report["slaves"] = {
+                rank: (slave.peer_proxy, slave.forwarded_messages, slave.forwarded_bytes)
+                for rank, slave in sorted(space.slaves.items())
+            }
+        return value
+
+    try:
+        result = grid.run_mpi(instrumented, nprocs=6, timeout=300.0)
+        result.raise_first()
+        print(f"pi ≈ {result.returns[0]:.4f} on placement {result.placement}")
+        print("\nvirtual slaves at north's proxy (rank → peer, msgs, bytes):")
+        for rank, (peer, messages, nbytes) in slave_report["slaves"].items():
+            print(f"  rank {rank}: via {peer}, {messages} msgs, {nbytes} B")
+        for peer in grid.proxy_of("north").peers():
+            stats = grid.proxy_of("north").tunnel_to(peer).stats
+            print(
+                f"tunnel north->{peer}: {stats.frames_sent} records out, "
+                f"{stats.bytes_sent} B (encrypted)"
+            )
+    finally:
+        grid.shutdown()
+
+
+if __name__ == "__main__":
+    run_single_site()
+    run_across_sites()
+    print("\nsame MPI function both times — zero code changes.")

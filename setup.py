@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs in offline environments.
+
+The environment has no network access and no ``wheel`` package, so PEP 517
+builds fail; ``pip install -e . --no-use-pep517`` (or plain ``pip install -e .``
+with older pip) uses this file instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Baseline architectures the paper's design is compared against.
+
+The paper's overhead and failure arguments (§3) are comparative: proxy
+edge-tunneling versus "the traditional approaches [where] the security
+falls within the MPI application [and] all the cluster's nodes reflect
+the overhead", and distributed per-site control versus a centralised
+information service.  This package implements those comparators:
+
+* :mod:`repro.baselines.pernode` — per-node security (Globus-style GSI
+  in every process): cost models for crypto work and message latency
+  under both architectures, used by experiment E4;
+* :mod:`repro.baselines.central` — a centralised monitor/controller:
+  control-traffic model and single-point-of-failure availability,
+  used by experiments E5 and E7.
+"""
+
+from repro.baselines.central import CentralizedMonitor, availability_after_failure
+from repro.baselines.pernode import (
+    ArchitectureCosts,
+    CryptoCostModel,
+    TrafficSpec,
+    evaluate_pernode,
+    evaluate_proxy,
+)
+
+__all__ = [
+    "ArchitectureCosts",
+    "CentralizedMonitor",
+    "CryptoCostModel",
+    "TrafficSpec",
+    "availability_after_failure",
+    "evaluate_pernode",
+    "evaluate_proxy",
+]

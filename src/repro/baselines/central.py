@@ -1,0 +1,111 @@
+"""Centralised monitoring/control baseline for experiments E5 and E7.
+
+The counterpart to the paper's distributed design: one collector polls
+every node in the grid directly, and one controller owns all control
+state.  Two consequences the experiments measure:
+
+* **control traffic** — a refresh costs one query per *node* instead of
+  one per *site*, and a single-site question still pays for the world;
+* **availability** — the controller is a single point of failure: when
+  it dies the whole grid is uncontrollable, whereas the distributed
+  design loses only the failed site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["CentralizedMonitor", "FailureImpact", "availability_after_failure"]
+
+
+class CentralizedMonitor:
+    """One collector polling every node directly.
+
+    Mirrors :class:`~repro.control.monitor.GlobalStatusCompiler`'s
+    counters so E5 compares like with like, but ``fetch_node`` hits each
+    station individually — there is no per-site aggregation point.
+    """
+
+    def __init__(
+        self,
+        nodes_by_site: dict[str, list[str]],
+        fetch_node: Callable[[str], dict[str, Any]],
+        clock: Callable[[], float],
+        ttl: float = 30.0,
+    ):
+        self.nodes_by_site = {s: list(ns) for s, ns in nodes_by_site.items()}
+        self.fetch_node = fetch_node
+        self.clock = clock
+        self.ttl = ttl
+        self._cache: dict[str, tuple[float, dict[str, Any]]] = {}
+        self.queries_sent = 0
+        self.entries_transferred = 0
+
+    def _node_status(self, node: str) -> dict[str, Any]:
+        now = self.clock()
+        cached = self._cache.get(node)
+        if cached is not None and now - cached[0] <= self.ttl:
+            return cached[1]
+        entry = self.fetch_node(node)
+        self.queries_sent += 1
+        self.entries_transferred += 1
+        self._cache[node] = (now, entry)
+        return entry
+
+    def site_status(self, site: str) -> list[dict[str, Any]]:
+        """Even one site's answer polls each of its nodes individually."""
+        try:
+            nodes = self.nodes_by_site[site]
+        except KeyError:
+            raise KeyError(f"unknown site: {site!r}") from None
+        return [self._node_status(node) for node in nodes]
+
+    def global_status(self) -> dict[str, list[dict[str, Any]]]:
+        return {site: self.site_status(site) for site in self.nodes_by_site}
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Fraction of grid capacity lost when a component fails."""
+
+    architecture: str
+    failed_component: str
+    capacity_remaining: float  # 0..1
+    controllable: bool  # can the surviving grid still be managed?
+
+
+def availability_after_failure(
+    sites: dict[str, int],
+    failed: str,
+    architecture: str,
+) -> FailureImpact:
+    """Capacity surviving a failure under each control architecture.
+
+    ``sites`` maps site name → node count.  ``failed`` is a site name or
+    ``"controller"`` (the central control machine).  Under the
+    distributed architecture losing a site removes exactly that site;
+    there is no "controller" to lose (each proxy controls its own site).
+    Under the centralised architecture losing the controller leaves the
+    capacity running but *uncontrollable* — no new work can be placed,
+    which the experiment scores as 0 usable capacity.
+    """
+    if architecture not in ("distributed", "centralized"):
+        raise ValueError(f"unknown architecture: {architecture!r}")
+    total = sum(sites.values())
+    if total == 0:
+        raise ValueError("grid has no nodes")
+
+    if failed == "controller":
+        if architecture == "distributed":
+            # No such component: per-site proxies are the controllers.
+            return FailureImpact(architecture, failed, 1.0, True)
+        return FailureImpact(architecture, failed, 0.0, False)
+
+    if failed not in sites:
+        raise KeyError(f"unknown site: {failed!r}")
+    remaining = (total - sites[failed]) / total
+    if architecture == "centralized":
+        # The controller survives; it just lost one site's nodes.
+        return FailureImpact(architecture, failed, remaining, True)
+    return FailureImpact(architecture, failed, remaining, True)

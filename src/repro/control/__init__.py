@@ -1,0 +1,51 @@
+"""Layer 3 — Grid control and monitoring services.
+
+The paper's control layer "contains the load balancing, information
+collector, and resource location services", with distributed collection:
+"each proxy responsible for the collection and control of the site where
+it is located.  The global status is obtained by compilation of all the
+sites' data."
+
+* :mod:`repro.control.monitor` — per-site collectors, status caching with
+  staleness bounds, on-demand global compilation;
+* :mod:`repro.control.scheduler` — the round-robin baseline (MPI's native
+  policy) and the status-aware load-balancing scheduler;
+* :mod:`repro.control.failure` — heartbeat-based failure detection and
+  site-level recovery bookkeeping;
+* :mod:`repro.control.info` — the resource-location service (find nodes
+  matching capability constraints);
+* :mod:`repro.control.api` — the Grid API: station-state queries
+  (RAM / CPU / HD availability) and grid summaries for the UIs.
+"""
+
+from repro.control.accounting import CreditPolicy, UsageLedger, UsageRecord
+from repro.control.api import GridApi
+from repro.control.failure import FailureDetector, PeerState
+from repro.control.info import ResourceLocator, ResourceQuery
+from repro.control.monitor import GlobalStatusCompiler, SiteStatusCache, StatusRecord
+from repro.control.scheduler import (
+    Job,
+    LoadBalancedScheduler,
+    NodeView,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "CreditPolicy",
+    "FailureDetector",
+    "GlobalStatusCompiler",
+    "GridApi",
+    "Job",
+    "LoadBalancedScheduler",
+    "NodeView",
+    "PeerState",
+    "ResourceLocator",
+    "ResourceQuery",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SiteStatusCache",
+    "StatusRecord",
+    "UsageLedger",
+    "UsageRecord",
+]

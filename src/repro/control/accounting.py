@@ -1,0 +1,151 @@
+"""Usage accounting and reward mechanisms.
+
+The paper lists, among desirable grid services, "resource and task
+storage, and reward mechanisms" (citing Buyya's economic grid
+scheduling).  This module provides the bookkeeping half: a
+:class:`UsageLedger` records every job executed through the proxies —
+who ran it, whose site donated the cycles — and a :class:`CreditPolicy`
+converts the ledger into credits: sites *earn* for hosting foreign work,
+users *spend* for consuming it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["CreditPolicy", "UsageLedger", "UsageRecord"]
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One executed job, as the destination proxy accounted it."""
+
+    userid: str
+    origin_site: str
+    executed_site: str
+    node: str
+    task: str
+    cpu_seconds: float
+    recorded_at: float
+
+    @property
+    def is_foreign(self) -> bool:
+        """True when the executing site donated cycles to another site."""
+        return self.origin_site != self.executed_site
+
+
+class UsageLedger:
+    """Append-only record of grid work, queryable by user and by site."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock or (lambda: 0.0)
+        self._records: list[UsageRecord] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        userid: str,
+        origin_site: str,
+        executed_site: str,
+        node: str,
+        task: str,
+        cpu_seconds: float,
+    ) -> UsageRecord:
+        if cpu_seconds < 0:
+            raise ValueError(f"negative cpu_seconds: {cpu_seconds}")
+        entry = UsageRecord(
+            userid=userid,
+            origin_site=origin_site,
+            executed_site=executed_site,
+            node=node,
+            task=task,
+            cpu_seconds=cpu_seconds,
+            recorded_at=self.clock(),
+        )
+        with self._lock:
+            self._records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> list[UsageRecord]:
+        with self._lock:
+            return list(self._records)
+
+    # -- aggregations ------------------------------------------------------
+
+    def usage_by_user(self) -> dict[str, float]:
+        """CPU-seconds consumed per user."""
+        totals: dict[str, float] = {}
+        for entry in self.records():
+            totals[entry.userid] = totals.get(entry.userid, 0.0) + entry.cpu_seconds
+        return totals
+
+    def contribution_by_site(self) -> dict[str, float]:
+        """CPU-seconds each site executed for *other* sites' users."""
+        totals: dict[str, float] = {}
+        for entry in self.records():
+            if entry.is_foreign:
+                totals[entry.executed_site] = (
+                    totals.get(entry.executed_site, 0.0) + entry.cpu_seconds
+                )
+        return totals
+
+    def consumption_by_site(self) -> dict[str, float]:
+        """CPU-seconds each site's users consumed *elsewhere*."""
+        totals: dict[str, float] = {}
+        for entry in self.records():
+            if entry.is_foreign:
+                totals[entry.origin_site] = (
+                    totals.get(entry.origin_site, 0.0) + entry.cpu_seconds
+                )
+        return totals
+
+    def jobs_by_task(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for entry in self.records():
+            counts[entry.task] = counts.get(entry.task, 0) + 1
+        return counts
+
+
+@dataclass
+class CreditPolicy:
+    """Converts ledger entries into credits.
+
+    ``rate`` is credits per donated CPU-second; hosting foreign work
+    earns, consuming foreign cycles costs.  Local work is free — the
+    owner's site is serving its own users.
+    """
+
+    rate: float = 1.0
+    initial_balance: float = 0.0
+    _balances: dict[str, float] = field(default_factory=dict)
+
+    def site_balance(self, site: str) -> float:
+        return self._balances.get(site, self.initial_balance)
+
+    def apply(self, entry: UsageRecord) -> None:
+        if not entry.is_foreign:
+            return
+        amount = entry.cpu_seconds * self.rate
+        self._balances[entry.executed_site] = (
+            self.site_balance(entry.executed_site) + amount
+        )
+        self._balances[entry.origin_site] = (
+            self.site_balance(entry.origin_site) - amount
+        )
+
+    def settle(self, ledger: UsageLedger) -> dict[str, float]:
+        """Recompute all balances from scratch over the full ledger."""
+        self._balances.clear()
+        for entry in ledger.records():
+            self.apply(entry)
+        return dict(self._balances)
+
+    def in_balance(self) -> bool:
+        """Credits are zero-sum across the grid."""
+        return abs(sum(self._balances.values())) < 1e-9

@@ -1,0 +1,86 @@
+"""The Grid API layer: station-state and grid-summary queries.
+
+The paper's layer: "this layer contains grid manipulation functions,
+returning, for instance, the state of a station (availability of RAM
+memory, CPU and HD)."  :class:`GridApi` is the façade the command line
+and the web interface call; everything returns plain dicts so the UIs
+can render them without touching middleware types.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — runtime import would be circular:
+    # core.grid imports control.accounting, which initialises this package
+    from repro.core.grid import Grid
+
+__all__ = ["GridApi"]
+
+
+class GridApi:
+    """User-facing query functions over a live grid."""
+
+    def __init__(self, grid: "Grid"):
+        self.grid = grid
+
+    # -- station state -----------------------------------------------------
+
+    def station_state(self, node: str) -> dict[str, Any]:
+        """RAM / CPU / HD availability of one station."""
+        from repro.core.grid import GridError
+
+        site_name = self.grid.directory.find_node(node)
+        if site_name is None:
+            raise GridError(f"unknown station: {node!r}")
+        status = self.grid.sites[site_name].nodes[node].status()
+        return {
+            "node": status.node,
+            "site": status.site,
+            "cpu_speed": status.cpu_speed,
+            "ram_total": status.ram_total,
+            "ram_free": status.ram_free,
+            "disk_total": status.disk_total,
+            "disk_free": status.disk_free,
+            "running_tasks": status.running_tasks,
+            "alive": status.alive,
+        }
+
+    def site_state(self, site: str) -> list[dict[str, Any]]:
+        """All station states of one site, via its proxy's collection."""
+        return self.grid.proxy_of(site).local_status()
+
+    def grid_state(self, via_site: Optional[str] = None) -> dict[str, list[dict]]:
+        """The compiled global status."""
+        return self.grid.global_status(via_site=via_site)
+
+    # -- summaries ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """One-screen overview for the UIs."""
+        status = self.grid.global_status() if self.grid.sites else {}
+        total_nodes = sum(len(entries) for entries in status.values())
+        alive_nodes = sum(
+            1 for entries in status.values() for e in entries if e["alive"]
+        )
+        return {
+            "sites": len(self.grid.sites),
+            "proxies": len(self.grid.proxies),
+            "nodes": total_nodes,
+            "alive_nodes": alive_nodes,
+            "users": len(self.grid.users.known_users()),
+            "site_names": sorted(self.grid.sites),
+        }
+
+    def topology(self) -> dict[str, Any]:
+        """Sites, their proxies, nodes and live tunnels."""
+        return {
+            "sites": {
+                name: {
+                    "proxy": self.grid.directory.proxy_of_site(name),
+                    "nodes": self.grid.directory.nodes_of_site(name),
+                    "tunnels": self.grid.proxy_of(name).peers(),
+                }
+                for name in sorted(self.grid.sites)
+            }
+        }

@@ -1,0 +1,90 @@
+"""The resource-location service.
+
+Part of the paper's layer-3 services ("load balancing, information
+collector, and resource location").  Given the compiled status entries,
+:class:`ResourceLocator` answers capability queries: *find me N stations
+with at least this much free RAM and this CPU speed*, optionally
+preferring one site (locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ResourceLocator", "ResourceQuery"]
+
+
+@dataclass(frozen=True)
+class ResourceQuery:
+    """Capability constraints for locating stations."""
+
+    min_cpu_speed: float = 0.0
+    min_ram_free: int = 0
+    min_disk_free: int = 0
+    require_alive: bool = True
+    require_idle: bool = False  # no running tasks
+    prefer_site: Optional[str] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive: {self.count}")
+
+
+class ResourceLocator:
+    """Matches queries against status entries (as proxies report them)."""
+
+    def __init__(self, status: dict[str, list[dict[str, Any]]]):
+        #: site -> station entries, the shape global_status() produces
+        self.status = status
+
+    def _matches(self, entry: dict[str, Any], query: ResourceQuery) -> bool:
+        if query.require_alive and not entry.get("alive", False):
+            return False
+        if entry.get("cpu_speed", 0.0) < query.min_cpu_speed:
+            return False
+        if entry.get("ram_free", 0) < query.min_ram_free:
+            return False
+        if entry.get("disk_free", 0) < query.min_disk_free:
+            return False
+        if query.require_idle and entry.get("running_tasks", 0) > 0:
+            return False
+        return True
+
+    def find(self, query: ResourceQuery) -> list[dict[str, Any]]:
+        """Up to ``query.count`` matching stations, best-first.
+
+        Ordering: preferred site first, then fastest CPU, then most free
+        RAM — the "best possible use of the available resources" the
+        paper's scheduler wants.
+        """
+        matches: list[dict[str, Any]] = []
+        for site, entries in self.status.items():
+            for entry in entries:
+                if self._matches(entry, query):
+                    matches.append({**entry, "site": entry.get("site", site)})
+        matches.sort(
+            key=lambda e: (
+                0 if e["site"] == query.prefer_site else 1,
+                -e.get("cpu_speed", 0.0),
+                -e.get("ram_free", 0),
+                e.get("node", ""),
+            )
+        )
+        return matches[: query.count]
+
+    def count_matching(self, query: ResourceQuery) -> int:
+        """How many stations satisfy the constraints (ignores count)."""
+        total = 0
+        for site, entries in self.status.items():
+            total += sum(1 for entry in entries if self._matches(entry, query))
+        return total
+
+    def sites_with_capacity(self, query: ResourceQuery) -> list[str]:
+        """Sites holding at least one matching station."""
+        sites = []
+        for site, entries in self.status.items():
+            if any(self._matches(entry, query) for entry in entries):
+                sites.append(site)
+        return sorted(sites)

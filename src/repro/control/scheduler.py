@@ -1,0 +1,162 @@
+"""Resource scheduling: round-robin baseline vs load balancing.
+
+The paper: "In its original form, the MPI uses the round-robin method to
+distribute the processes among the nodes" and proposes a scheduler that
+"provides balanced process distribution using the grid's status
+information … the best possible use and optimization of the available
+resources."
+
+Both schedulers share one interface so experiment E6 swaps them under an
+identical workload:
+
+* :class:`RoundRobinScheduler` — ignores all status information, cycles
+  the node list (the baseline);
+* :class:`LoadBalancedScheduler` — minimum-estimated-completion-time:
+  tracks outstanding work per node and assigns each job where it will
+  finish earliest given node speed, current queue and owner load.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Job",
+    "LoadBalancedScheduler",
+    "NodeView",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SchedulerError",
+]
+
+_job_ids = itertools.count(1)
+
+
+class SchedulerError(Exception):
+    """No eligible node, or malformed job parameters."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """A unit of grid work to place."""
+
+    work: float  # CPU-seconds on a reference (speed 1.0) node
+    ram: int = 0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SchedulerError(f"negative work: {self.work}")
+        if self.ram < 0:
+            raise SchedulerError(f"negative ram: {self.ram}")
+
+
+@dataclass
+class NodeView:
+    """What the scheduler knows about a node from the status information."""
+
+    name: str
+    site: str
+    speed: float = 1.0
+    owner_load: float = 0.0  # fraction of CPU the owner keeps
+    ram_free: int = 1 << 30
+    alive: bool = True
+    #: outstanding grid work (CPU-seconds) the scheduler has placed here
+    queued_work: float = 0.0
+
+    def effective_rate(self) -> float:
+        """CPU-seconds of grid work this node absorbs per second."""
+        return self.speed * max(0.0, 1.0 - self.owner_load)
+
+    def estimated_completion(self, job: Job) -> float:
+        """Seconds until ``job`` would finish if placed here now."""
+        rate = self.effective_rate()
+        if rate <= 0:
+            return float("inf")
+        return (self.queued_work + job.work) / rate
+
+
+class Scheduler(abc.ABC):
+    """Assigns jobs to nodes; subclasses differ only in the choice rule."""
+
+    def __init__(self, nodes: list[NodeView]):
+        if not nodes:
+            raise SchedulerError("scheduler needs at least one node")
+        self.nodes = {node.name: node for node in nodes}
+        if len(self.nodes) != len(nodes):
+            raise SchedulerError("duplicate node names")
+        self.assignments: list[tuple[int, str]] = []
+
+    def eligible(self, job: Job) -> list[NodeView]:
+        return [
+            node
+            for node in self.nodes.values()
+            if node.alive and node.ram_free >= job.ram
+        ]
+
+    @abc.abstractmethod
+    def choose(self, job: Job, candidates: list[NodeView]) -> NodeView:
+        """Pick the node for one job from non-empty ``candidates``."""
+
+    def assign(self, job: Job) -> str:
+        """Place one job; returns the node name and updates queue state."""
+        candidates = self.eligible(job)
+        if not candidates:
+            raise SchedulerError(
+                f"no eligible node for job {job.job_id} "
+                f"(work={job.work}, ram={job.ram})"
+            )
+        node = self.choose(job, candidates)
+        node.queued_work += job.work
+        self.assignments.append((job.job_id, node.name))
+        return node.name
+
+    def assign_all(self, jobs: list[Job]) -> dict[int, str]:
+        return {job.job_id: self.assign(job) for job in jobs}
+
+    def complete(self, node_name: str, work: float) -> None:
+        """Report finished work so queue estimates stay honest."""
+        node = self.nodes[node_name]
+        node.queued_work = max(0.0, node.queued_work - work)
+
+    def makespan_estimate(self) -> float:
+        """Time until every queued assignment drains, by the model."""
+        return max(
+            (
+                node.queued_work / node.effective_rate()
+                for node in self.nodes.values()
+                if node.queued_work > 0 and node.effective_rate() > 0
+            ),
+            default=0.0,
+        )
+
+
+class RoundRobinScheduler(Scheduler):
+    """MPI's native policy: cycle the node list, blind to load and speed."""
+
+    def __init__(self, nodes: list[NodeView]):
+        super().__init__(nodes)
+        self._order = [node.name for node in nodes]
+        self._next = 0
+
+    def choose(self, job: Job, candidates: list[NodeView]) -> NodeView:
+        eligible_names = {node.name for node in candidates}
+        # Advance the cursor until an eligible node comes up; the cursor
+        # keeps rotating across calls exactly like mpirun's host list.
+        for _ in range(len(self._order)):
+            name = self._order[self._next % len(self._order)]
+            self._next += 1
+            if name in eligible_names:
+                return self.nodes[name]
+        raise SchedulerError("round-robin cursor found no eligible node")
+
+
+class LoadBalancedScheduler(Scheduler):
+    """Minimum estimated completion time using the grid's status info."""
+
+    def choose(self, job: Job, candidates: list[NodeView]) -> NodeView:
+        return min(
+            candidates, key=lambda node: (node.estimated_completion(job), node.name)
+        )

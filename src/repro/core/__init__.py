@@ -1,0 +1,54 @@
+"""The paper's contribution: the proxy-server grid architecture.
+
+Each *site* (a LAN or cluster) places a :class:`~repro.core.proxy.ProxyServer`
+at its border.  Proxies interconnect the sites, authenticate each other with
+CA-issued certificates, tunnel all inter-site traffic over a secure channel,
+collect their own site's status, validate user permissions at both the
+originating and destination ends, and multiplex MPI applications through
+*virtual slaves* so unmodified MPI code runs on the whole grid as if it were
+one cluster.
+
+Modules
+-------
+:mod:`repro.core.protocol`
+    The expandable inter-proxy control protocol (op-codes, requests,
+    replies).
+:mod:`repro.core.tunnel`
+    Secure inter-site tunnels: handshake + record encryption between
+    proxy pairs; local traffic stays in cleartext by design.
+:mod:`repro.core.virtual_slave`
+    Virtual slaves: per-application stand-ins for remote MPI ranks.
+:mod:`repro.core.multiplexer`
+    The MPI router that delivers locally and forwards remotely through
+    the proxy (Fig. 3a vs 3b).
+:mod:`repro.core.proxy`
+    The proxy server itself (layers 1–4 tied together).
+:mod:`repro.core.site`
+    A site: named nodes behind one or more proxies.
+:mod:`repro.core.grid`
+    The top-level Grid object users interact with.
+:mod:`repro.core.routing`
+    The grid directory: which site hosts which node/rank, proxy peering.
+"""
+
+from repro.core.grid import Grid, GridError
+from repro.core.protocol import ControlMessage, Op, ProtocolError
+from repro.core.proxy import ProxyServer
+from repro.core.site import Site, SiteNode
+from repro.core.tunnel import Tunnel, TunnelError
+from repro.core.virtual_slave import AppSpace, VirtualSlave
+
+__all__ = [
+    "AppSpace",
+    "ControlMessage",
+    "Grid",
+    "GridError",
+    "Op",
+    "ProtocolError",
+    "ProxyServer",
+    "Site",
+    "SiteNode",
+    "Tunnel",
+    "TunnelError",
+    "VirtualSlave",
+]

@@ -1,0 +1,444 @@
+"""The Grid: user-facing assembly of sites, proxies, CA and services.
+
+Builds the runtime the paper describes: a CA for the whole grid, one
+proxy per site (more are accepted), a full mesh of secure tunnels between
+proxies, shared user/permission databases checked at both ends, and MPI
+execution over the proxy multiplexer.
+
+Two transports are supported:
+
+* ``"inproc"`` (default) — everything inside one process over the
+  in-process fabric; fast and deterministic for tests and examples;
+* ``"tcp"`` — proxies listen on real localhost sockets, demonstrating
+  the identical code path over an actual network stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.control.accounting import UsageLedger
+from repro.core.proxy import ProxyError, ProxyServer
+from repro.core.routing import GridDirectory
+from repro.core.site import Site, TaskRegistry
+from repro.mpi.communicator import Communicator
+from repro.mpi.launcher import MpiJobResult
+from repro.security.auth import AccessControlList, UserDirectory
+from repro.security.ca import CertificationAuthority
+from repro.security.rsa import RsaKeyPair
+from repro.security.tickets import TicketService
+from repro.transport.inproc import InprocFabric
+from repro.transport.tcp import TcpListener, connect_tcp
+
+__all__ = ["Grid", "GridError"]
+
+_app_ids = itertools.count(1)
+
+
+class GridError(Exception):
+    """Grid construction or job execution failure."""
+
+
+class Grid:
+    """A computational grid of proxy-fronted sites.
+
+    >>> grid = Grid()
+    >>> site = grid.add_site("siteA", nodes=2)
+    >>> grid.connect_all()
+    >>> result = grid.run_mpi(lambda comm: comm.rank, nprocs=2)
+    >>> result.returns
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        transport: str = "inproc",
+        clock: Optional[Callable[[], float]] = None,
+        key_bits: int = 512,
+    ):
+        if transport not in ("inproc", "tcp"):
+            raise GridError(f"unknown transport: {transport!r}")
+        self.transport = transport
+        self.clock = clock or time.time
+        self.key_bits = key_bits
+        self.ca = CertificationAuthority(key_bits=key_bits, clock=self.clock)
+        self.directory = GridDirectory()
+        self.users = UserDirectory()
+        self.acl = AccessControlList(self.users)
+        self.tickets = TicketService(
+            self.users, self.clock, key_bits=key_bits
+        )
+        self.ledger = UsageLedger(clock=self.clock)
+        self.sites: dict[str, Site] = {}
+        self.proxies: dict[str, ProxyServer] = {}
+        self._fabric = InprocFabric()
+        self._tcp_listeners: dict[str, TcpListener] = {}
+        self._connected_pairs: set[tuple[str, str]] = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_site(
+        self,
+        name: str,
+        nodes: int = 1,
+        node_speed: float = 1.0,
+        node_speeds: Optional[Sequence[float]] = None,
+        tasks: Optional[TaskRegistry] = None,
+    ) -> Site:
+        """Create a site with ``nodes`` stations and its border proxy."""
+        if name in self.sites:
+            raise GridError(f"duplicate site name: {name!r}")
+        if nodes <= 0 and node_speeds is None:
+            raise GridError(f"site needs at least one node: {nodes}")
+        site = Site(name=name)
+        speeds = list(node_speeds) if node_speeds is not None else [node_speed] * nodes
+        for index, speed in enumerate(speeds):
+            site.add_node(f"{name}.n{index}", cpu_speed=speed, tasks=tasks)
+
+        proxy_name = f"proxy.{name}"
+        keypair = RsaKeyPair.generate(self.key_bits)
+        certificate = self.ca.issue(proxy_name, "proxy", keypair.public)
+        address = self._make_address(proxy_name)
+        self.directory.register_site(name, proxy_name, address)
+        for node_name in site.node_names():
+            self.directory.register_node(node_name, name)
+
+        proxy = ProxyServer(
+            name=proxy_name,
+            site=site,
+            keypair=keypair,
+            certificate=certificate,
+            trust_anchor=self.ca.public_key,
+            clock=self.clock,
+            directory=self.directory,
+            users=self.users,
+            acl=self.acl,
+        )
+        proxy.ledger = self.ledger
+        self._start_listening(proxy, address)
+        self.sites[name] = site
+        self.proxies[proxy_name] = proxy
+        return site
+
+    def add_extra_proxy(self, site_name: str) -> ProxyServer:
+        """Add a redundant proxy to an existing site.
+
+        "Configurations with more than one proxy server per site are also
+        accepted": the extra proxy fronts the same stations with its own
+        certificate and listener.  After :meth:`connect_all`, peers hold
+        tunnels to every proxy of the site, and remote operations fail
+        over to the next proxy when one dies.
+        """
+        if site_name not in self.sites:
+            raise GridError(f"unknown site: {site_name!r}")
+        site = self.sites[site_name]
+        index = len(self.directory.proxies_of_site(site_name))
+        proxy_name = f"proxy.{site_name}.{index}"
+        keypair = RsaKeyPair.generate(self.key_bits)
+        certificate = self.ca.issue(proxy_name, "proxy", keypair.public)
+        address = self._make_address(proxy_name)
+        self.directory.register_extra_proxy(site_name, proxy_name, address)
+        proxy = ProxyServer(
+            name=proxy_name,
+            site=site,
+            keypair=keypair,
+            certificate=certificate,
+            trust_anchor=self.ca.public_key,
+            clock=self.clock,
+            directory=self.directory,
+            users=self.users,
+            acl=self.acl,
+        )
+        proxy.ledger = self.ledger
+        self._start_listening(proxy, address)
+        self.proxies[proxy_name] = proxy
+        return proxy
+
+    def _make_address(self, proxy_name: str) -> str:
+        if self.transport == "inproc":
+            return f"{proxy_name}.tunnel"
+        listener = TcpListener()
+        self._tcp_listeners[proxy_name] = listener
+        return f"{listener.host}:{listener.port}"
+
+    def _start_listening(self, proxy: ProxyServer, address: str) -> None:
+        if self.transport == "inproc":
+            proxy.listen(self._fabric.listen(address))
+        else:
+            proxy.listen(self._tcp_listeners[proxy.name])
+
+    def _dial(self, address: str):
+        if self.transport == "inproc":
+            return self._fabric.connect(address)
+        host, _, port = address.rpartition(":")
+        return connect_tcp(host, int(port))
+
+    def connect(self, site_a: str, site_b: str) -> None:
+        """Establish secure tunnels between two sites.
+
+        Every proxy of ``site_a`` tunnels to every proxy of ``site_b``,
+        so sites with redundant proxies get redundant paths.
+        """
+        for name_a in self.directory.proxies_of_site(site_a):
+            for name_b in self.directory.proxies_of_site(site_b):
+                self._connect_proxies(name_a, name_b)
+
+    def _connect_proxies(self, name_a: str, name_b: str) -> None:
+        pair = tuple(sorted([name_a, name_b]))
+        with self._lock:
+            if pair in self._connected_pairs:
+                return
+            self._connected_pairs.add(pair)
+        proxy_a = self.proxies[name_a]
+        raw = self._dial(self.directory.address_of_proxy(name_b))
+        proxy_a.connect_to_peer(raw)
+        # Handshake completion on the acceptor side is asynchronous; wait
+        # for the reverse direction to register.
+        deadline = time.monotonic() + 10.0
+        proxy_b = self.proxies[name_b]
+        while name_a not in proxy_b.peers():
+            if time.monotonic() > deadline:
+                raise GridError(f"tunnel {name_a} <-> {name_b} did not come up")
+            time.sleep(0.005)
+
+    def connect_all(self) -> None:
+        """Full mesh of tunnels (the paper's interconnection of all sites)."""
+        names = sorted(self.sites)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                self.connect(a, b)
+
+    def proxy_of(self, site: str) -> ProxyServer:
+        try:
+            return self.proxies[self.directory.proxy_of_site(site)]
+        except Exception as exc:
+            raise GridError(f"unknown site: {site!r}") from exc
+
+    def create_filesystem(
+        self, replication: int = 2, chunk_size: int = 256 * 1024,
+        capacity_per_site: int = 1 << 30,
+    ):
+        """A grid file system with one chunk store per current site.
+
+        The DFS extension (paper future work) replicates chunks across
+        *sites*, so any single site failure leaves files readable; reads
+        from a site prefer its own replica.
+        """
+        from repro.dfs.filesystem import GridFileSystem
+
+        if len(self.sites) < replication:
+            raise GridError(
+                f"replication {replication} needs at least that many sites, "
+                f"grid has {len(self.sites)}"
+            )
+        fs = GridFileSystem(
+            replication=replication, chunk_size=chunk_size, clock=self.clock
+        )
+        for site in sorted(self.sites):
+            fs.add_site(site, capacity=capacity_per_site)
+        return fs
+
+    def secure_node_channel(self, site: str, node: str):
+        """Explicit secure channel from a station to its own proxy.
+
+        Local traffic is cleartext by default; this is the paper's
+        opt-in: the node gets a CA-issued certificate and an encrypted,
+        mutually-authenticated channel on which the proxy answers
+        control requests.  Returns the node-side secure channel.
+        """
+        if self.directory.find_node(node) != site:
+            raise GridError(f"node {node!r} is not at site {site!r}")
+        keypair = RsaKeyPair.generate(self.key_bits)
+        certificate = self.ca.issue(node, "node", keypair.public)
+        return self.proxy_of(site).open_secure_local_channel(keypair, certificate)
+
+    # ------------------------------------------------------------------
+    # Users and permissions
+    # ------------------------------------------------------------------
+
+    def add_user(self, userid: str, password: str) -> None:
+        self.users.add_user(userid, password)
+
+    def grant(self, principal: str, resource_pattern: str, action: str) -> None:
+        self.acl.grant(principal, resource_pattern, action)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit_job(
+        self,
+        userid: str,
+        password: str,
+        task: str,
+        params: Optional[dict] = None,
+        origin_site: Optional[str] = None,
+        target_site: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> Any:
+        """Submit a job from ``origin_site``'s proxy, optionally to another
+        site; authentication and permissions are checked at both ends."""
+        if not self.sites:
+            raise GridError("grid has no sites")
+        origin = origin_site or sorted(self.sites)[0]
+        return self.proxy_of(origin).submit_job(
+            userid,
+            password,
+            task,
+            params=params,
+            target_site=target_site,
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+
+    def global_status(self, via_site: Optional[str] = None) -> dict[str, list[dict]]:
+        """Compile the grid-wide status from every site's proxy.
+
+        "The global status is obtained by compilation of all the sites'
+        data" — the querying proxy asks each peer over the control
+        protocol and merges the answers with its own local view.
+        """
+        if not self.sites:
+            return {}
+        origin_name = via_site or sorted(self.sites)[0]
+        origin = self.proxy_of(origin_name)
+        status = {origin.site.name: origin.local_status()}
+        for site in self.directory.sites():
+            if site == origin.site.name:
+                continue
+            # Any proxy of the site can answer for it; fail over in order.
+            last_error = None
+            for peer in self.directory.proxies_of_site(site):
+                try:
+                    status[site] = origin.query_peer_status(peer)
+                    break
+                except Exception as exc:
+                    last_error = exc
+            else:
+                raise GridError(
+                    f"no proxy of site {site!r} answered the status query: "
+                    f"{last_error}"
+                )
+        return status
+
+    # ------------------------------------------------------------------
+    # MPI over the grid
+    # ------------------------------------------------------------------
+
+    def place_ranks(
+        self, nprocs: int, policy: str = "round_robin"
+    ) -> tuple[dict[int, str], dict[int, str]]:
+        """rank → site and rank → node maps under the chosen policy.
+
+        ``round_robin`` cycles the flat node list (MPI's native policy,
+        per the paper); ``load_balanced`` fills fastest/least-loaded
+        nodes first using the grid's status information.
+        """
+        all_nodes: list[tuple[str, str, float, int]] = []
+        for site_name in sorted(self.sites):
+            for node in self.sites[site_name].alive_nodes():
+                all_nodes.append(
+                    (site_name, node.name, node.cpu_speed, node.running_tasks)
+                )
+        if not all_nodes:
+            raise GridError("no alive nodes to place on")
+        if policy == "round_robin":
+            ordered = all_nodes
+        elif policy == "load_balanced":
+            ordered = sorted(all_nodes, key=lambda t: (t[3], -t[2], t[1]))
+        else:
+            raise GridError(f"unknown placement policy: {policy!r}")
+        rank_to_site: dict[int, str] = {}
+        rank_to_node: dict[int, str] = {}
+        for rank in range(nprocs):
+            site_name, node_name, _, _ = ordered[rank % len(ordered)]
+            rank_to_site[rank] = site_name
+            rank_to_node[rank] = node_name
+        return rank_to_site, rank_to_node
+
+    def run_mpi(
+        self,
+        app: Callable[[Communicator], Any],
+        nprocs: int,
+        policy: str = "round_robin",
+        timeout: float = 120.0,
+        args: tuple = (),
+        app_id: Optional[str] = None,
+    ) -> MpiJobResult:
+        """Run an *unmodified* MPI application across the whole grid.
+
+        The proxy of rank 0's site originates the application: it creates
+        the address spaces (virtual slaves included) at every
+        participating proxy, then ranks execute on threads bound to their
+        site's router.  Local pairs use direct LAN delivery; cross-site
+        pairs ride the secure tunnels (Fig. 3a vs Fig. 3b).
+        """
+        if nprocs <= 0:
+            raise GridError(f"nprocs must be positive: {nprocs}")
+        if not self.sites:
+            raise GridError("grid has no sites")
+        rank_to_site, rank_to_node = self.place_ranks(nprocs, policy=policy)
+        app_id = app_id or f"mpi-{next(_app_ids)}"
+        origin = self.proxy_of(rank_to_site[0])
+        origin.start_app(app_id, rank_to_site, rank_to_node, announce=True)
+        routers = {
+            site: self.proxy_of(site).router_for(app_id)
+            for site in set(rank_to_site.values())
+        }
+
+        returns: list[Any] = [None] * nprocs
+        errors: dict[int, BaseException] = {}
+        errors_lock = threading.Lock()
+
+        def run_rank(rank: int) -> None:
+            comm = Communicator(rank, nprocs, routers[rank_to_site[rank]])
+            try:
+                returns[rank] = app(comm, *args)
+            except BaseException as exc:
+                with errors_lock:
+                    errors[rank] = exc
+
+        threads = [
+            threading.Thread(
+                target=run_rank, args=(rank,), name=f"{app_id}-rank-{rank}"
+            )
+            for rank in range(nprocs)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=timeout)
+            hung = [t for t in threads if t.is_alive()]
+            if hung:
+                raise TimeoutError(
+                    f"{len(hung)} rank(s) of {app_id!r} did not finish "
+                    f"within {timeout}s"
+                )
+        finally:
+            origin.end_app(app_id, announce=True)
+        placement = [rank_to_node[rank] for rank in range(nprocs)]
+        return MpiJobResult(returns=returns, errors=errors, placement=placement)
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for proxy in self.proxies.values():
+            proxy.shutdown()
+        for site in self.sites.values():
+            site.shutdown()
+
+    def __enter__(self) -> "Grid":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

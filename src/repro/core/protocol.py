@@ -1,0 +1,233 @@
+"""The inter-proxy control protocol.
+
+The paper standardised control communication "through the creation of a
+protocol used among the proxies.  The codes used in this protocol can be
+expanded to deal with a new situation."  This module implements that:
+
+* :class:`Op` — the operation-code registry.  Core codes are predefined;
+  :func:`register_op` adds new ones at runtime without touching the
+  dispatcher, which is the expandability the paper calls for.
+* :class:`ControlMessage` — a request or reply with a correlation id,
+  carried in a CONTROL frame.
+* :class:`RequestTracker` — matches replies to outstanding requests on a
+  proxy's control channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.transport.frames import Frame, FrameKind, decode_value, encode_value
+
+__all__ = [
+    "ControlMessage",
+    "Op",
+    "ProtocolError",
+    "RequestTracker",
+    "register_op",
+]
+
+
+class ProtocolError(Exception):
+    """Malformed control traffic or unknown op-code."""
+
+
+class Op:
+    """Well-known control operation codes.
+
+    Codes are small ints on the wire; names exist for logs and dispatch
+    tables.  100–999 are reserved for the core protocol; 1000+ belong to
+    extensions registered with :func:`register_op`.
+    """
+
+    # -- session / liveness
+    HELLO = 100  # proxy introduces itself after the tunnel comes up
+    PING = 101
+    PONG = 102
+    BYE = 103
+    # -- monitoring / control (layer 3)
+    STATUS_QUERY = 200  # "send me your site's status"
+    STATUS_REPORT = 201
+    LOCATE_RESOURCE = 202  # resource location service
+    RESOURCE_FOUND = 203
+    # -- authentication / permissions (layer 2)
+    AUTH_CHECK = 300  # validate a user credential at the destination
+    AUTH_OK = 301
+    AUTH_DENIED = 302
+    # -- jobs
+    JOB_SUBMIT = 400
+    JOB_ACCEPTED = 401
+    JOB_REJECTED = 402
+    JOB_RESULT = 403
+    # -- MPI support (layer 4)
+    MPI_START = 500  # create the application address space
+    MPI_STARTED = 501
+    MPI_END = 502
+    MPI_ENDED = 503
+    # -- generic
+    ERROR = 900
+
+    _names: dict[int, str] = {}
+
+    @classmethod
+    def name_of(cls, code: int) -> str:
+        return cls._names.get(code, f"op:{code}")
+
+    @classmethod
+    def is_known(cls, code: int) -> bool:
+        return code in cls._names
+
+
+# Populate the registry from the class attributes.
+Op._names = {
+    value: name
+    for name, value in vars(Op).items()
+    if isinstance(value, int) and not name.startswith("_")
+}
+
+_extension_codes = itertools.count(1000)
+_registry_lock = threading.Lock()
+
+
+def register_op(name: str, code: Optional[int] = None) -> int:
+    """Register an extension op-code; returns the assigned code.
+
+    New situations get new codes without modifying the core protocol —
+    the paper's expandability requirement.
+    """
+    with _registry_lock:
+        if code is None:
+            code = next(_extension_codes)
+        if code in Op._names:
+            raise ProtocolError(
+                f"op code {code} already registered as {Op._names[code]!r}"
+            )
+        if not name:
+            raise ProtocolError("empty op name")
+        Op._names[code] = name
+        return code
+
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class ControlMessage:
+    """A control request or reply between proxies."""
+
+    op: int
+    body: dict[str, Any] = field(default_factory=dict)
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    reply_to: Optional[int] = None
+    sender: str = ""
+
+    def is_reply(self) -> bool:
+        return self.reply_to is not None
+
+    def reply(self, op: int, body: Optional[dict[str, Any]] = None, sender: str = "") -> "ControlMessage":
+        """Construct the reply correlated to this message."""
+        return ControlMessage(
+            op=op, body=body or {}, reply_to=self.message_id, sender=sender
+        )
+
+    def to_frame(self) -> Frame:
+        if not Op.is_known(self.op):
+            raise ProtocolError(f"cannot send unknown op code {self.op}")
+        headers = {
+            "op": self.op,
+            "id": self.message_id,
+            "sender": self.sender,
+        }
+        if self.reply_to is not None:
+            headers["reply_to"] = self.reply_to
+        return Frame(
+            kind=FrameKind.CONTROL, headers=headers, payload=encode_value(self.body)
+        )
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "ControlMessage":
+        if frame.kind != FrameKind.CONTROL:
+            raise ProtocolError(f"not a control frame: {frame.kind.name}")
+        try:
+            op = frame.headers["op"]
+            message_id = frame.headers["id"]
+        except KeyError as exc:
+            raise ProtocolError(f"control frame missing header: {exc}") from exc
+        if not isinstance(op, int) or not Op.is_known(op):
+            raise ProtocolError(f"unknown op code: {op!r}")
+        body = decode_value(frame.payload)
+        if not isinstance(body, dict):
+            raise ProtocolError("control body is not a dict")
+        return cls(
+            op=op,
+            body=body,
+            message_id=message_id,
+            reply_to=frame.headers.get("reply_to"),
+            sender=frame.headers.get("sender", ""),
+        )
+
+    def __repr__(self) -> str:
+        kind = f"reply_to={self.reply_to}" if self.is_reply() else "request"
+        return f"ControlMessage({Op.name_of(self.op)}, id={self.message_id}, {kind})"
+
+
+class RequestTracker:
+    """Correlates replies with outstanding requests on one control link."""
+
+    def __init__(self):
+        self._waiting: dict[int, threading.Event] = {}
+        self._replies: dict[int, ControlMessage] = {}
+        self._lock = threading.Lock()
+
+    def expect(self, request: ControlMessage) -> int:
+        """Register interest in the reply to ``request``."""
+        with self._lock:
+            self._waiting[request.message_id] = threading.Event()
+        return request.message_id
+
+    def fulfil(self, reply: ControlMessage) -> bool:
+        """Deliver a reply; returns False if nobody was waiting."""
+        if reply.reply_to is None:
+            return False
+        with self._lock:
+            event = self._waiting.get(reply.reply_to)
+            if event is None:
+                return False
+            self._replies[reply.reply_to] = reply
+            event.set()
+            return True
+
+    def wait(self, message_id: int, timeout: float = 30.0) -> ControlMessage:
+        """Block until the reply arrives."""
+        with self._lock:
+            event = self._waiting.get(message_id)
+        if event is None:
+            raise ProtocolError(f"no outstanding request {message_id}")
+        if not event.wait(timeout=timeout):
+            with self._lock:
+                self._waiting.pop(message_id, None)
+            raise ProtocolError(f"request {message_id} timed out after {timeout}s")
+        with self._lock:
+            self._waiting.pop(message_id, None)
+            return self._replies.pop(message_id)
+
+    def cancel(self, message_id: int, reason: str = "link down") -> None:
+        """Wake one waiter with an ERROR reply."""
+        with self._lock:
+            event = self._waiting.get(message_id)
+            if event is None or message_id in self._replies:
+                return
+            self._replies[message_id] = ControlMessage(
+                op=Op.ERROR, body={"error": reason}, reply_to=message_id
+            )
+            event.set()
+
+    def cancel_all(self, reason: str = "link down") -> None:
+        """Wake all waiters with an ERROR reply (total shutdown)."""
+        with self._lock:
+            ids = list(self._waiting)
+        for message_id in ids:
+            self.cancel(message_id, reason)

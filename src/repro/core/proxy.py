@@ -1,0 +1,684 @@
+"""The proxy server: the paper's central entity.
+
+"This entity acts similarly to a gateway, serving as an interconnecting
+point between the sites that make up the computational grid. … The
+control and the functionalities of the grid are introduced at the site's
+border rather than individually in each node."
+
+One :class:`ProxyServer` fronts one site.  It owns:
+
+* **Layer 1** — a listener for inbound tunnels plus outbound dials to peer
+  proxies; control and data share each tunnel, demultiplexed by frame
+  kind.
+* **Layer 2** — its CA-issued certificate and key (host authentication),
+  the site's user directory and ACL (user authentication and permissions,
+  checked at the originating *and* destination proxy), and credential
+  issuance so destinations can verify users offline.
+* **Layer 3** — local site monitoring and the control protocol's
+  status/locate services; per-site collection with on-demand global
+  compilation.
+* **Layer 4** — MPI application address spaces with virtual slaves, and
+  the forwarding path the :class:`~repro.core.multiplexer.GridRouter`
+  uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.core.multiplexer import GridRouter
+from repro.core.protocol import ControlMessage, Op, ProtocolError, RequestTracker
+from repro.core.routing import GridDirectory
+from repro.core.site import Site
+from repro.core.tunnel import Tunnel, TunnelError
+from repro.core.virtual_slave import AppSpace
+from repro.security.auth import (
+    AccessControlList,
+    AuthenticationError,
+    Credential,
+    PermissionDenied,
+    UserDirectory,
+)
+from repro.security.certs import Certificate
+from repro.security.rsa import RsaKeyPair
+from repro.transport.channel import Channel, Listener
+from repro.transport.errors import TransportError
+from repro.transport.frames import Frame, FrameKind
+
+__all__ = ["ProxyError", "ProxyServer"]
+
+
+class ProxyError(Exception):
+    """Submission, authentication or forwarding failure at a proxy."""
+
+
+class ProxyServer:
+    """One site's border proxy."""
+
+    def __init__(
+        self,
+        name: str,
+        site: Site,
+        keypair: RsaKeyPair,
+        certificate: Certificate,
+        trust_anchor,
+        clock: Callable[[], float],
+        directory: GridDirectory,
+        users: Optional[UserDirectory] = None,
+        acl: Optional[AccessControlList] = None,
+    ):
+        self.name = name
+        self.site = site
+        site.proxy_name = site.proxy_name or name
+        self.keypair = keypair
+        self.certificate = certificate
+        self.trust_anchor = trust_anchor
+        self.clock = clock
+        self.directory = directory
+        self.users = users or UserDirectory()
+        self.acl = acl or AccessControlList(self.users)
+        self._tunnels: dict[str, Tunnel] = {}
+        self._tunnel_lock = threading.Lock()
+        self._tracker = RequestTracker()
+        self._inflight_by_peer: dict[str, set[int]] = {}
+        self._inflight_lock = threading.Lock()
+        self._listener: Optional[Listener] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._routers: dict[str, GridRouter] = {}
+        self._spaces: dict[str, AppSpace] = {}
+        self._space_lock = threading.Lock()
+        self._closing = threading.Event()
+        #: peers we have heard a heartbeat/frame from, with timestamps
+        self.last_heard: dict[str, float] = {}
+        #: pluggable hooks (the failure detector and tests subscribe here)
+        self.on_peer_lost: list[Callable[[str], None]] = []
+        #: extension op handlers: op code -> fn(message, peer) -> reply | None
+        self.extension_handlers: dict[int, Callable[[ControlMessage, str], Optional[ControlMessage]]] = {}
+        #: optional usage ledger (reward mechanisms); set by the Grid
+        self.ledger = None
+
+    # ------------------------------------------------------------------
+    # Layer 1: tunnels
+    # ------------------------------------------------------------------
+
+    def listen(self, listener: Listener) -> None:
+        """Start accepting inbound tunnel connections on ``listener``."""
+        if self._listener is not None:
+            raise ProxyError(f"proxy {self.name!r} is already listening")
+        self._listener = listener
+
+        def accept_loop() -> None:
+            while not self._closing.is_set():
+                try:
+                    raw = listener.accept(timeout=0.5)
+                except TransportError:
+                    if self._closing.is_set():
+                        return
+                    continue
+                threading.Thread(
+                    target=self._accept_tunnel,
+                    args=(raw,),
+                    daemon=True,
+                    name=f"{self.name}-accept",
+                ).start()
+
+        self._accept_thread = threading.Thread(
+            target=accept_loop, daemon=True, name=f"{self.name}-listener"
+        )
+        self._accept_thread.start()
+
+    def _accept_tunnel(self, raw: Channel) -> None:
+        try:
+            tunnel = Tunnel.establish_server(
+                raw,
+                self.name,
+                self.keypair,
+                self.certificate,
+                self.trust_anchor,
+                self.clock,
+            )
+        except TunnelError:
+            return  # unauthenticated peers are silently discarded
+        self._install_tunnel(tunnel)
+
+    def connect_to_peer(self, raw: Channel, mode: str = "dh") -> Tunnel:
+        """Dial a peer proxy over an established raw channel."""
+        tunnel = Tunnel.establish_client(
+            raw,
+            self.name,
+            self.keypair,
+            self.certificate,
+            self.trust_anchor,
+            self.clock,
+            mode=mode,
+        )
+        self._install_tunnel(tunnel)
+        # Introduce ourselves so the peer can map tunnel -> proxy name.
+        self._send_control(
+            tunnel, ControlMessage(op=Op.HELLO, body={"site": self.site.name}, sender=self.name)
+        )
+        return tunnel
+
+    def _install_tunnel(self, tunnel: Tunnel) -> None:
+        tunnel.on_frame(FrameKind.CONTROL, lambda f: self._on_control(tunnel, f))
+        tunnel.on_frame(FrameKind.MPI, lambda f: self._on_mpi(tunnel, f))
+        tunnel.on_frame(FrameKind.HEARTBEAT, lambda f: self._on_heartbeat(tunnel, f))
+        tunnel.on_close(self._on_tunnel_close)
+        # A dead tunnel must not strand request() callers mid-wait — but
+        # only requests sent over *this* tunnel are affected.
+        tunnel.on_close(self._cancel_inflight_for_peer)
+        with self._tunnel_lock:
+            self._tunnels[tunnel.peer_name] = tunnel
+        self.last_heard[tunnel.peer_name] = self.clock()
+        tunnel.start()
+
+    def _cancel_inflight_for_peer(self, tunnel: Tunnel) -> None:
+        with self._inflight_lock:
+            pending = list(self._inflight_by_peer.get(tunnel.peer_name, ()))
+        for message_id in pending:
+            self._tracker.cancel(
+                message_id, f"tunnel to {tunnel.peer_name} closed"
+            )
+
+    def _on_tunnel_close(self, tunnel: Tunnel) -> None:
+        with self._tunnel_lock:
+            current = self._tunnels.get(tunnel.peer_name)
+            if current is tunnel:
+                del self._tunnels[tunnel.peer_name]
+        for callback in list(self.on_peer_lost):
+            callback(tunnel.peer_name)
+
+    def tunnel_to(self, peer_proxy: str) -> Tunnel:
+        with self._tunnel_lock:
+            tunnel = self._tunnels.get(peer_proxy)
+        if tunnel is None or not tunnel.alive:
+            raise ProxyError(
+                f"proxy {self.name!r} has no live tunnel to {peer_proxy!r}"
+            )
+        return tunnel
+
+    def peers(self) -> list[str]:
+        with self._tunnel_lock:
+            return sorted(self._tunnels)
+
+    # ------------------------------------------------------------------
+    # Control protocol
+    # ------------------------------------------------------------------
+
+    def _send_control(self, tunnel: Tunnel, message: ControlMessage) -> None:
+        message.sender = self.name
+        tunnel.send(message.to_frame())
+
+    def request(
+        self, peer_proxy: str, op: int, body: Optional[dict] = None, timeout: float = 30.0
+    ) -> ControlMessage:
+        """Send a control request to a peer and wait for the reply."""
+        tunnel = self.tunnel_to(peer_proxy)
+        message = ControlMessage(op=op, body=body or {}, sender=self.name)
+        self._tracker.expect(message)
+        with self._inflight_lock:
+            self._inflight_by_peer.setdefault(peer_proxy, set()).add(
+                message.message_id
+            )
+        try:
+            self._send_control(tunnel, message)
+            reply = self._tracker.wait(message.message_id, timeout=timeout)
+        finally:
+            with self._inflight_lock:
+                self._inflight_by_peer.get(peer_proxy, set()).discard(
+                    message.message_id
+                )
+        if reply.op == Op.ERROR:
+            raise ProxyError(
+                f"peer {peer_proxy!r} reported error: {reply.body.get('error')}"
+            )
+        return reply
+
+    def _on_control(self, tunnel: Tunnel, frame: Frame) -> None:
+        try:
+            message = ControlMessage.from_frame(frame)
+        except ProtocolError:
+            return  # corrupt control traffic is discarded
+        self.last_heard[tunnel.peer_name] = self.clock()
+        if message.is_reply():
+            self._tracker.fulfil(message)
+            return
+        try:
+            reply = self._dispatch(message, tunnel.peer_name)
+        except Exception as exc:  # any handler fault becomes an ERROR reply
+            reply = message.reply(Op.ERROR, {"error": str(exc)})
+        if reply is not None:
+            try:
+                self._send_control(tunnel, reply)
+            except TunnelError:
+                pass  # peer vanished mid-reply
+
+    def _dispatch(
+        self, message: ControlMessage, peer: str
+    ) -> Optional[ControlMessage]:
+        handler = self.extension_handlers.get(message.op)
+        if handler is not None:
+            return handler(message, peer)
+        if message.op == Op.HELLO:
+            return None
+        if message.op == Op.PING:
+            return message.reply(Op.PONG, {"proxy": self.name})
+        if message.op == Op.STATUS_QUERY:
+            return message.reply(Op.STATUS_REPORT, {"status": self.local_status()})
+        if message.op == Op.LOCATE_RESOURCE:
+            node = message.body.get("node", "")
+            site = self.directory.find_node(node)
+            return message.reply(Op.RESOURCE_FOUND, {"node": node, "site": site})
+        if message.op == Op.AUTH_CHECK:
+            return self._handle_auth_check(message, peer)
+        if message.op == Op.JOB_SUBMIT:
+            return self._handle_job_submit(message, peer)
+        if message.op == Op.MPI_START:
+            return self._handle_mpi_start(message)
+        if message.op == Op.MPI_END:
+            self.end_app(message.body.get("app", ""))
+            return message.reply(Op.MPI_ENDED, {})
+        return message.reply(
+            Op.ERROR, {"error": f"unhandled op {Op.name_of(message.op)}"}
+        )
+
+    # ------------------------------------------------------------------
+    # Layer 2: authentication and permissions
+    # ------------------------------------------------------------------
+
+    def authenticate_user(self, userid: str, password: str) -> Credential:
+        """Origin-side authentication; returns a proxy-signed credential."""
+        self.users.authenticate_password(userid, password)  # may raise
+        return Credential.issue(userid, self.name, self.clock(), self.keypair)
+
+    def _verify_remote_credential(self, blob: bytes, peer: str) -> Credential:
+        """Destination-side check of a credential signed by the peer proxy."""
+        credential = Credential.from_bytes(blob)
+        tunnel = self.tunnel_to(peer)
+        credential.verify(tunnel.peer_certificate.public_key, self.clock())
+        return credential
+
+    def _handle_auth_check(self, message: ControlMessage, peer: str) -> ControlMessage:
+        try:
+            credential = self._verify_remote_credential(
+                message.body["credential"], peer
+            )
+            self.acl.check(
+                credential.userid,
+                message.body.get("resource", f"site:{self.site.name}"),
+                message.body.get("action", "access"),
+            )
+        except (AuthenticationError, PermissionDenied, KeyError) as exc:
+            return message.reply(Op.AUTH_DENIED, {"reason": str(exc)})
+        return message.reply(Op.AUTH_OK, {"userid": credential.userid})
+
+    # ------------------------------------------------------------------
+    # Layer 3: monitoring and jobs
+    # ------------------------------------------------------------------
+
+    def local_status(self) -> list[dict[str, Any]]:
+        """This site's station states (the per-proxy collection duty)."""
+        return [
+            {
+                "node": s.node,
+                "site": s.site,
+                "cpu_speed": s.cpu_speed,
+                "ram_free": s.ram_free,
+                "disk_free": s.disk_free,
+                "running_tasks": s.running_tasks,
+                "tasks_completed": s.tasks_completed,
+                "alive": s.alive,
+            }
+            for s in self.site.statuses()
+        ]
+
+    def query_peer_status(self, peer_proxy: str, timeout: float = 30.0) -> list[dict]:
+        reply = self.request(peer_proxy, Op.STATUS_QUERY, timeout=timeout)
+        return reply.body["status"]
+
+    def pick_node(self) -> str:
+        """Least-loaded alive node at this site."""
+        candidates = self.site.alive_nodes()
+        if not candidates:
+            raise ProxyError(f"site {self.site.name!r} has no alive nodes")
+        return min(candidates, key=lambda n: (n.running_tasks, n.name)).name
+
+    def submit_job(
+        self,
+        userid: str,
+        password: str,
+        task: str,
+        params: Optional[dict] = None,
+        target_site: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> Any:
+        """Full job path: authenticate, authorise at origin, run or forward.
+
+        The origin proxy validates the user and the ACL; remote targets
+        revalidate the credential and the ACL at the destination, exactly
+        as the paper specifies.
+        """
+        target_site = target_site or self.site.name
+        credential = self.authenticate_user(userid, password)
+        self.acl.check(userid, f"site:{target_site}", "submit")
+        if target_site == self.site.name:
+            node = self.pick_node()
+            result, elapsed = self._timed_execute(node, task, params, timeout)
+            self._account(userid, self.site.name, node, task, elapsed)
+            return result
+        body = {
+            "credential": credential.to_bytes(),
+            "task": task,
+            "params": params or {},
+            "resource": f"site:{target_site}",
+            "origin": self.site.name,
+        }
+        # Sites may run several proxies; fail over on connectivity errors
+        # (a policy rejection from a live proxy is final, not retried).
+        last_error: Optional[ProxyError] = None
+        for peer in self.directory.proxies_of_site(target_site):
+            try:
+                reply = self.request(peer, Op.JOB_SUBMIT, body, timeout=timeout)
+            except ProxyError as exc:
+                last_error = exc
+                continue
+            if reply.op == Op.JOB_REJECTED:
+                raise ProxyError(
+                    f"job rejected by {peer!r}: {reply.body.get('reason')}"
+                )
+            return reply.body.get("result")
+        raise ProxyError(
+            f"no proxy of site {target_site!r} reachable: {last_error}"
+        )
+
+    def _handle_job_submit(self, message: ControlMessage, peer: str) -> ControlMessage:
+        try:
+            credential = self._verify_remote_credential(
+                message.body["credential"], peer
+            )
+            self.acl.check(
+                credential.userid,
+                message.body.get("resource", f"site:{self.site.name}"),
+                "submit",
+            )
+        except (AuthenticationError, PermissionDenied, KeyError) as exc:
+            return message.reply(Op.JOB_REJECTED, {"reason": str(exc)})
+        try:
+            node = self.pick_node()
+            result, elapsed = self._timed_execute(
+                node,
+                message.body.get("task", "noop"),
+                message.body.get("params", {}),
+                timeout=60.0,
+            )
+        except Exception as exc:
+            return message.reply(Op.JOB_REJECTED, {"reason": f"execution: {exc}"})
+        self._account(
+            credential.userid,
+            message.body.get("origin", ""),
+            node,
+            message.body.get("task", "noop"),
+            elapsed,
+        )
+        return message.reply(Op.JOB_RESULT, {"result": result, "node": node})
+
+    def _timed_execute(self, node, task, params, timeout):
+        import time as _time
+
+        start = _time.perf_counter()
+        result = self.site.nodes[node].execute(task, params, timeout=timeout)
+        return result, _time.perf_counter() - start
+
+    def _account(self, userid, origin_site, node, task, elapsed) -> None:
+        """Record executed work in the usage ledger, if one is attached.
+
+        Wall time stands in for CPU seconds — the single-worker node
+        model makes them equivalent for accounting purposes.
+        """
+        if self.ledger is None:
+            return
+        self.ledger.record(
+            userid=userid,
+            origin_site=origin_site or self.site.name,
+            executed_site=self.site.name,
+            node=node,
+            task=task,
+            cpu_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Layer 4: MPI multiplexing
+    # ------------------------------------------------------------------
+
+    def start_app(
+        self,
+        app_id: str,
+        rank_to_site: dict[int, str],
+        rank_to_node: dict[int, str],
+        announce: bool = True,
+    ) -> GridRouter:
+        """Create this proxy's address space (and tell the peers to).
+
+        Called on the originating proxy; with ``announce`` it sends
+        MPI_START to every other participating site's proxy so they build
+        their own address spaces before any rank starts talking.
+        """
+        router = self._create_space(app_id, rank_to_site, rank_to_node)
+        if announce:
+            participating = {s for s in rank_to_site.values() if s != self.site.name}
+            wire_sites = {str(r): s for r, s in rank_to_site.items()}
+            wire_nodes = {str(r): n for r, n in rank_to_node.items()}
+            for site in sorted(participating):
+                peer = self.directory.proxy_of_site(site)
+                reply = self.request(
+                    peer,
+                    Op.MPI_START,
+                    {"app": app_id, "sites": wire_sites, "nodes": wire_nodes},
+                )
+                if reply.op != Op.MPI_STARTED:
+                    raise ProxyError(
+                        f"peer {peer!r} failed to start app {app_id!r}"
+                    )
+        return router
+
+    def _create_space(
+        self, app_id: str, rank_to_site: dict[int, str], rank_to_node: dict[int, str]
+    ) -> GridRouter:
+        with self._space_lock:
+            if app_id in self._spaces:
+                raise ProxyError(f"app {app_id!r} already started at {self.name!r}")
+            space = AppSpace(app_id=app_id, site=self.site.name)
+            space.populate(
+                rank_to_site, rank_to_node, self.directory.site_to_proxy_map()
+            )
+            router = GridRouter(self, space)
+            self._spaces[app_id] = space
+            self._routers[app_id] = router
+            return router
+
+    def _handle_mpi_start(self, message: ControlMessage) -> ControlMessage:
+        app_id = message.body["app"]
+        rank_to_site = {int(r): s for r, s in message.body["sites"].items()}
+        rank_to_node = {int(r): n for r, n in message.body["nodes"].items()}
+        self._create_space(app_id, rank_to_site, rank_to_node)
+        return message.reply(Op.MPI_STARTED, {"app": app_id})
+
+    def router_for(self, app_id: str) -> GridRouter:
+        with self._space_lock:
+            try:
+                return self._routers[app_id]
+            except KeyError:
+                raise ProxyError(
+                    f"no app {app_id!r} at proxy {self.name!r}"
+                ) from None
+
+    def app_space(self, app_id: str) -> AppSpace:
+        with self._space_lock:
+            try:
+                return self._spaces[app_id]
+            except KeyError:
+                raise ProxyError(
+                    f"no app {app_id!r} at proxy {self.name!r}"
+                ) from None
+
+    def forward_mpi(
+        self,
+        app_id: str,
+        peer_proxy: str,
+        source: int,
+        dest: int,
+        tag: int,
+        payload_blob: bytes,
+    ) -> None:
+        """Send one multiplexed MPI message through the secure tunnel."""
+        tunnel = self.tunnel_to(peer_proxy)
+        tunnel.send(
+            Frame(
+                kind=FrameKind.MPI,
+                headers={"app": app_id, "src": source, "dst": dest, "tag": tag},
+                payload=payload_blob,
+            )
+        )
+
+    def _on_mpi(self, tunnel: Tunnel, frame: Frame) -> None:
+        self.last_heard[tunnel.peer_name] = self.clock()
+        try:
+            app_id = frame.headers["app"]
+            router = self.router_for(app_id)
+            router.deliver_remote(
+                source=frame.headers["src"],
+                dest=frame.headers["dst"],
+                tag=frame.headers["tag"],
+                payload_blob=frame.payload,
+            )
+        except (KeyError, ProxyError):
+            pass  # traffic for unknown apps is discarded
+
+    def end_app(self, app_id: str, announce: bool = False) -> None:
+        """Tear down an application's address space."""
+        with self._space_lock:
+            space = self._spaces.pop(app_id, None)
+            router = self._routers.pop(app_id, None)
+        if router is not None:
+            router.close()
+        if announce and space is not None:
+            for site in {s for s in space.rank_to_site.values() if s != self.site.name}:
+                try:
+                    self.request(
+                        self.directory.proxy_of_site(site), Op.MPI_END, {"app": app_id}
+                    )
+                except (ProxyError, Exception):
+                    pass  # best-effort teardown
+
+    # ------------------------------------------------------------------
+    # Explicit secure local channels
+    # ------------------------------------------------------------------
+
+    def open_secure_local_channel(self, node_keypair, node_certificate):
+        """Give one local node an encrypted channel to its proxy.
+
+        Intra-site traffic is cleartext by default ("based on the
+        assumption that communication inside the site is already safe"),
+        but the paper adds: "If a node in the site requires a safe
+        channel, it can be made available by the proxy through an
+        explicit call."  This is that call: the node presents its own
+        CA-issued certificate, both ends run the standard handshake, and
+        the node receives a secure channel on which the proxy services
+        control requests (PING, STATUS_QUERY, LOCATE_RESOURCE, ...)
+        exactly as it does for peer proxies.
+
+        Returns the node-side :class:`SecureChannel`.
+        """
+        from repro.security.handshake import connect_secure
+        from repro.transport.inproc import channel_pair
+
+        node_raw, proxy_raw = channel_pair(
+            name=f"{self.name}.local:{node_certificate.subject}"
+        )
+        result: dict = {}
+
+        def proxy_side() -> None:
+            try:
+                tunnel = Tunnel.establish_server(
+                    proxy_raw,
+                    self.name,
+                    self.keypair,
+                    self.certificate,
+                    self.trust_anchor,
+                    self.clock,
+                    expected_peer_role="node",
+                )
+            except TunnelError:
+                return
+            tunnel.on_frame(
+                FrameKind.CONTROL, lambda f: self._on_control(tunnel, f)
+            )
+            tunnel.start()
+            result["tunnel"] = tunnel
+
+        server = threading.Thread(
+            target=proxy_side, daemon=True, name=f"{self.name}-local-secure"
+        )
+        server.start()
+        try:
+            secure = connect_secure(
+                node_raw,
+                node_keypair,
+                node_certificate,
+                self.trust_anchor,
+                self.clock,
+                expected_peer_role="proxy",
+            )
+        except Exception as exc:
+            server.join(timeout=30.0)
+            raise ProxyError(
+                f"proxy {self.name!r} rejected the local secure channel for "
+                f"{node_certificate.subject!r}: {exc}"
+            ) from exc
+        server.join(timeout=30.0)
+        if "tunnel" not in result:
+            secure.close()
+            raise ProxyError(
+                f"proxy {self.name!r} rejected the local secure channel for "
+                f"{node_certificate.subject!r}"
+            )
+        return secure
+
+    # ------------------------------------------------------------------
+    # Heartbeats (feeds the failure detector)
+    # ------------------------------------------------------------------
+
+    def send_heartbeats(self) -> None:
+        """Emit one heartbeat on every live tunnel (callers own the period)."""
+        with self._tunnel_lock:
+            tunnels = list(self._tunnels.values())
+        for tunnel in tunnels:
+            try:
+                tunnel.send(
+                    Frame(kind=FrameKind.HEARTBEAT, headers={"from": self.name})
+                )
+            except TunnelError:
+                pass
+
+    def _on_heartbeat(self, tunnel: Tunnel, frame: Frame) -> None:
+        self.last_heard[tunnel.peer_name] = self.clock()
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            self._listener.close()
+        with self._tunnel_lock:
+            tunnels = list(self._tunnels.values())
+        for tunnel in tunnels:
+            tunnel.close()
+        with self._space_lock:
+            for router in self._routers.values():
+                router.close()
+            self._routers.clear()
+            self._spaces.clear()
+
+    def __repr__(self) -> str:
+        return f"ProxyServer({self.name!r}, site={self.site.name!r})"

@@ -1,0 +1,222 @@
+"""Sites: named collections of nodes behind a proxy.
+
+A site models one administrative domain — a cluster or a LAN of
+workstations.  In the live runtime, :class:`SiteNode` tracks a node's
+capabilities and executes registered task kinds on a worker thread; the
+simulation substrate models the same nodes analytically for the scaled
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Site", "SiteNode", "TaskRegistry", "NodeStatus"]
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """What the Grid API reports about one station."""
+
+    node: str
+    site: str
+    cpu_speed: float
+    ram_total: int
+    ram_free: int
+    disk_total: int
+    disk_free: int
+    running_tasks: int
+    tasks_completed: int
+    alive: bool
+
+
+class TaskRegistry:
+    """Named task implementations a site is willing to execute.
+
+    Remote job submissions name a task kind plus plain-data parameters;
+    arbitrary code never crosses the wire (remote frames are untrusted).
+    """
+
+    def __init__(self):
+        self._tasks: dict[str, Callable[..., Any]] = {}
+
+    def register(self, kind: str, fn: Callable[..., Any]) -> None:
+        if kind in self._tasks:
+            raise ValueError(f"task kind already registered: {kind!r}")
+        self._tasks[kind] = fn
+
+    def get(self, kind: str) -> Callable[..., Any]:
+        try:
+            return self._tasks[kind]
+        except KeyError:
+            raise KeyError(f"unknown task kind: {kind!r}") from None
+
+    def kinds(self) -> list[str]:
+        return sorted(self._tasks)
+
+
+def _default_tasks() -> TaskRegistry:
+    registry = TaskRegistry()
+    registry.register("noop", lambda: None)
+    registry.register("echo", lambda value=None: value)
+    registry.register("sleep", lambda duration=0.0: time.sleep(duration))
+    registry.register(
+        "sum_range", lambda n=0: sum(range(int(n)))
+    )  # a tiny CPU-bound kernel for demos
+    return registry
+
+
+class SiteNode:
+    """One station: capabilities plus a single worker thread.
+
+    The worker executes tasks one at a time (a 2003 workstation donates
+    one CPU); queued tasks wait.  ``fail()`` simulates a crash for the
+    failure-injection tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        site: str,
+        cpu_speed: float = 1.0,
+        ram_total: int = 1 << 30,
+        disk_total: int = 40 << 30,
+        tasks: Optional[TaskRegistry] = None,
+    ):
+        if cpu_speed <= 0:
+            raise ValueError(f"cpu speed must be positive: {cpu_speed}")
+        self.name = name
+        self.site = site
+        self.cpu_speed = cpu_speed
+        self.ram_total = ram_total
+        self.disk_total = disk_total
+        self.ram_used = 0
+        self.disk_used = 0
+        self.tasks = tasks or _default_tasks()
+        self.tasks_completed = 0
+        self._queue: "queue.Queue" = queue.Queue()
+        self._alive = threading.Event()
+        self._alive.set()
+        self._running = 0
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._work_loop, daemon=True, name=f"node-{name}"
+        )
+        self._worker.start()
+
+    def _work_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            kind, params, done = item
+            if not self._alive.is_set():
+                done["error"] = RuntimeError(f"node {self.name!r} is down")
+                done["event"].set()
+                continue
+            with self._lock:
+                self._running += 1
+            try:
+                fn = self.tasks.get(kind)
+                done["result"] = fn(**params)
+            except BaseException as exc:
+                done["error"] = exc
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self.tasks_completed += 1
+                done["event"].set()
+
+    def execute(
+        self, kind: str, params: Optional[dict] = None, timeout: float = 60.0
+    ) -> Any:
+        """Run a registered task to completion; raises its error."""
+        if not self._alive.is_set():
+            raise RuntimeError(f"node {self.name!r} is down")
+        done: dict = {"event": threading.Event(), "result": None, "error": None}
+        self._queue.put((kind, params or {}, done))
+        if not done["event"].wait(timeout=timeout):
+            raise TimeoutError(f"task {kind!r} on {self.name!r} timed out")
+        if done["error"] is not None:
+            raise done["error"]
+        return done["result"]
+
+    def fail(self) -> None:
+        """Mark the node dead (failure injection)."""
+        self._alive.clear()
+
+    def recover(self) -> None:
+        self._alive.set()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive.is_set()
+
+    @property
+    def running_tasks(self) -> int:
+        with self._lock:
+            return self._running
+
+    def status(self) -> NodeStatus:
+        return NodeStatus(
+            node=self.name,
+            site=self.site,
+            cpu_speed=self.cpu_speed,
+            ram_total=self.ram_total,
+            ram_free=self.ram_total - self.ram_used,
+            disk_total=self.disk_total,
+            disk_free=self.disk_total - self.disk_used,
+            running_tasks=self.running_tasks,
+            tasks_completed=self.tasks_completed,
+            alive=self.alive,
+        )
+
+    def shutdown(self) -> None:
+        self._queue.put(None)
+
+
+@dataclass
+class Site:
+    """One administrative domain: nodes plus its proxy's name."""
+
+    name: str
+    nodes: dict[str, SiteNode] = field(default_factory=dict)
+    proxy_name: str = ""
+
+    def add_node(
+        self,
+        name: str,
+        cpu_speed: float = 1.0,
+        ram_total: int = 1 << 30,
+        disk_total: int = 40 << 30,
+        tasks: Optional[TaskRegistry] = None,
+    ) -> SiteNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name: {name!r}")
+        node = SiteNode(
+            name,
+            self.name,
+            cpu_speed=cpu_speed,
+            ram_total=ram_total,
+            disk_total=disk_total,
+            tasks=tasks,
+        )
+        self.nodes[name] = node
+        return node
+
+    def node_names(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def alive_nodes(self) -> list[SiteNode]:
+        return [node for node in self.nodes.values() if node.alive]
+
+    def statuses(self) -> list[NodeStatus]:
+        return [self.nodes[name].status() for name in self.node_names()]
+
+    def shutdown(self) -> None:
+        for node in self.nodes.values():
+            node.shutdown()

@@ -1,0 +1,198 @@
+"""Secure inter-site tunnels between proxies.
+
+The paper: "Traffic tunneling was chosen, using SSL only among the sites.
+By default, the local communication at each site is not encrypted, based
+on the assumption that communication inside the site is already safe."
+
+A :class:`Tunnel` is the secure pipe between two proxies: it runs the
+SSL-like handshake over whatever raw channel connects them (in-process or
+TCP), then carries control, MPI and data frames with record protection.
+A background receiver thread demultiplexes inbound frames to registered
+handlers by frame kind, so one tunnel serves the control protocol and any
+number of multiplexed MPI applications concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.security.certs import Certificate
+from repro.security.handshake import (
+    HandshakeError,
+    SecureChannel,
+    accept_secure,
+    connect_secure,
+)
+from repro.security.rsa import RsaKeyPair, RsaPublicKey
+from repro.transport.channel import Channel
+from repro.transport.errors import TransportError, TransportTimeout
+from repro.transport.frames import Frame, FrameKind
+
+__all__ = ["Tunnel", "TunnelError"]
+
+
+class TunnelError(Exception):
+    """Handshake failure or use of a dead tunnel."""
+
+
+class Tunnel:
+    """An authenticated, encrypted link between two proxies.
+
+    Build with :meth:`establish_client` / :meth:`establish_server`, then
+    :meth:`start` the receiver loop.  ``on_frame(kind, handler)`` registers
+    the demultiplexer targets; ``on_close(fn)`` fires when the link dies
+    (feeds the failure detector).
+    """
+
+    def __init__(self, secure: SecureChannel, local_name: str):
+        self._secure = secure
+        self.local_name = local_name
+        self.peer_name = secure.peer.subject
+        self._handlers: dict[FrameKind, Callable[[Frame], None]] = {}
+        self._close_callbacks: list[Callable[["Tunnel"], None]] = []
+        self._receiver: Optional[threading.Thread] = None
+        self._running = threading.Event()
+        self._closed = threading.Event()
+        self._send_lock = threading.Lock()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def establish_client(
+        cls,
+        raw: Channel,
+        local_name: str,
+        keypair: RsaKeyPair,
+        certificate: Certificate,
+        trust_anchor: RsaPublicKey,
+        clock: Callable[[], float],
+        mode: str = "dh",
+    ) -> "Tunnel":
+        """Dial-side tunnel establishment (handshake as client)."""
+        try:
+            secure = connect_secure(
+                raw,
+                keypair,
+                certificate,
+                trust_anchor,
+                clock,
+                mode=mode,
+                expected_peer_role="proxy",
+            )
+        except HandshakeError as exc:
+            raw.close()
+            raise TunnelError(f"tunnel handshake failed: {exc}") from exc
+        return cls(secure, local_name)
+
+    @classmethod
+    def establish_server(
+        cls,
+        raw: Channel,
+        local_name: str,
+        keypair: RsaKeyPair,
+        certificate: Certificate,
+        trust_anchor: RsaPublicKey,
+        clock: Callable[[], float],
+        revocation_check: Optional[Callable[[Certificate], bool]] = None,
+        expected_peer_role: str = "proxy",
+    ) -> "Tunnel":
+        """Accept-side tunnel establishment (handshake as server).
+
+        Peers are proxies by default; a site-local secure channel accepts
+        role ``"node"`` instead.
+        """
+        try:
+            secure = accept_secure(
+                raw,
+                keypair,
+                certificate,
+                trust_anchor,
+                clock,
+                expected_peer_role=expected_peer_role,
+                revocation_check=revocation_check,
+            )
+        except HandshakeError as exc:
+            raw.close()
+            raise TunnelError(f"tunnel handshake failed: {exc}") from exc
+        return cls(secure, local_name)
+
+    # -- demultiplexing ---------------------------------------------------------
+
+    def on_frame(self, kind: FrameKind, handler: Callable[[Frame], None]) -> None:
+        """Register the handler for one frame kind (replacing any previous)."""
+        self._handlers[kind] = handler
+
+    def on_close(self, callback: Callable[["Tunnel"], None]) -> None:
+        self._close_callbacks.append(callback)
+
+    def start(self) -> None:
+        """Start the background receiver; idempotent."""
+        if self._receiver is not None:
+            return
+        self._running.set()
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            daemon=True,
+            name=f"tunnel-{self.local_name}->{self.peer_name}",
+        )
+        self._receiver.start()
+
+    def _receive_loop(self) -> None:
+        try:
+            while self._running.is_set():
+                try:
+                    frame = self._secure.recv(timeout=0.5)
+                except TransportTimeout:
+                    continue
+                except TransportError:
+                    break  # includes ChannelClosed: peer is gone
+                except HandshakeError:
+                    break  # record verification failed: hostile or corrupt peer
+                handler = self._handlers.get(frame.kind)
+                if handler is not None:
+                    handler(frame)
+                # Unhandled kinds are dropped: "discarding unauthorized
+                # traffic" is the security layer's default posture.
+        finally:
+            self._running.clear()
+            self._closed.set()
+            for callback in list(self._close_callbacks):
+                callback(self)
+
+    # -- traffic -------------------------------------------------------------------
+
+    def send(self, frame: Frame) -> None:
+        if not self.alive:
+            raise TunnelError(
+                f"tunnel {self.local_name}->{self.peer_name} is down"
+            )
+        try:
+            with self._send_lock:
+                self._secure.send(frame)
+        except TransportError as exc:
+            self.close()
+            raise TunnelError(f"tunnel send failed: {exc}") from exc
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed.is_set() and not self._secure.closed
+
+    @property
+    def peer_certificate(self) -> Certificate:
+        """The certificate the peer authenticated with during the handshake."""
+        return self._secure.peer.certificate
+
+    @property
+    def stats(self):
+        """Traffic accounting from the secure channel (record bytes)."""
+        return self._secure.stats
+
+    def close(self) -> None:
+        self._running.clear()
+        self._closed.set()
+        self._secure.close()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"Tunnel({self.local_name}->{self.peer_name}, {state})"

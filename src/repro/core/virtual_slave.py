@@ -1,0 +1,130 @@
+"""Virtual slaves: the proxy's stand-ins for remote MPI ranks.
+
+From the paper: "it was decided not to interfere internally in the MPI,
+but to use the proxy as the entity responsible for providing the MPI with
+the necessary abstraction.  This was done by creating virtual slaves in
+the proxy that communicate directly with the MPI root process.  The
+virtual slaves pass on the information through safe channels to the
+respective destination proxy, which passes it on to the respective real
+nodes … For each MPI application started in the grid, a new address space
+associated to this application is created in the proxy."
+
+:class:`AppSpace` is that per-application address space; it owns one
+:class:`VirtualSlave` per rank that is *not* hosted at this proxy's site.
+A virtual slave records which peer proxy fronts the real node and counts
+the traffic it relays, which experiment E3/E4 report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["AppSpace", "VirtualSlave"]
+
+
+@dataclass
+class VirtualSlave:
+    """A local impersonation of one remote rank.
+
+    The MPI root (or any local rank) addresses this slave exactly as it
+    would a local process; the slave forwards through the secure tunnel to
+    ``peer_proxy``, behind which the real node ``real_node`` executes the
+    rank.  This indirection is what gives MPI "the illusion of a single
+    virtual cluster".
+    """
+
+    app_id: str
+    rank: int
+    peer_proxy: str  # proxy name fronting the real node
+    real_node: str  # node executing the rank at the remote site
+    forwarded_messages: int = 0
+    forwarded_bytes: int = 0
+
+    def account(self, nbytes: int) -> None:
+        self.forwarded_messages += 1
+        self.forwarded_bytes += nbytes
+
+
+@dataclass
+class AppSpace:
+    """Per-application address space inside one proxy.
+
+    Holds the full rank → (site, node) map agreed at MPI_START plus the
+    virtual slaves for every remote rank.  ``local_ranks`` are executed by
+    real nodes at this proxy's site and get direct (unencrypted, LAN)
+    delivery.
+    """
+
+    app_id: str
+    site: str
+    rank_to_site: dict[int, str] = field(default_factory=dict)
+    rank_to_node: dict[int, str] = field(default_factory=dict)
+    slaves: dict[int, VirtualSlave] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.rank_to_site)
+
+    @property
+    def local_ranks(self) -> list[int]:
+        return sorted(
+            rank for rank, site in self.rank_to_site.items() if site == self.site
+        )
+
+    @property
+    def remote_ranks(self) -> list[int]:
+        return sorted(
+            rank for rank, site in self.rank_to_site.items() if site != self.site
+        )
+
+    def populate(
+        self,
+        rank_to_site: dict[int, str],
+        rank_to_node: dict[int, str],
+        site_to_proxy: dict[str, str],
+    ) -> None:
+        """Install the placement map and create virtual slaves.
+
+        One virtual slave appears for each rank hosted at another site —
+        "the proxy distributes the processes throughout the grid, creating
+        the virtual slaves and associating them with the real nodes."
+        """
+        if set(rank_to_site) != set(rank_to_node):
+            raise ValueError("rank maps disagree on the rank set")
+        with self._lock:
+            self.rank_to_site = dict(rank_to_site)
+            self.rank_to_node = dict(rank_to_node)
+            self.slaves = {
+                rank: VirtualSlave(
+                    app_id=self.app_id,
+                    rank=rank,
+                    peer_proxy=site_to_proxy[site],
+                    real_node=rank_to_node[rank],
+                )
+                for rank, site in rank_to_site.items()
+                if site != self.site
+            }
+
+    def slave_for(self, rank: int) -> Optional[VirtualSlave]:
+        """The virtual slave for a remote rank (None for local ranks)."""
+        with self._lock:
+            return self.slaves.get(rank)
+
+    def is_local(self, rank: int) -> bool:
+        try:
+            return self.rank_to_site[rank] == self.site
+        except KeyError:
+            raise KeyError(
+                f"app {self.app_id!r}: unknown rank {rank} "
+                f"(world size {self.size})"
+            ) from None
+
+    def totals(self) -> tuple[int, int]:
+        """(messages, bytes) forwarded through all virtual slaves."""
+        with self._lock:
+            messages = sum(s.forwarded_messages for s in self.slaves.values())
+            nbytes = sum(s.forwarded_bytes for s in self.slaves.values())
+        return messages, nbytes

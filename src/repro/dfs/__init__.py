@@ -1,0 +1,28 @@
+"""A distributed filing system over the grid (paper future work).
+
+"Distributed filing systems" are the third future-work item the paper's
+architecture is intended to host.  This package provides a small but
+complete one in the architecture's spirit: chunked files replicated
+across *sites* (replication crosses site borders through the proxies, so
+a site failure never loses data), with reads preferring local replicas —
+the same locality argument the proxy makes for MPI traffic.
+
+* :mod:`repro.dfs.storage` — per-site chunk stores with capacity
+  accounting;
+* :mod:`repro.dfs.metadata` — the namespace: paths, chunk maps, replica
+  locations;
+* :mod:`repro.dfs.filesystem` — the user-facing GridFileSystem.
+"""
+
+from repro.dfs.filesystem import DfsError, GridFileSystem
+from repro.dfs.metadata import FileEntry, Namespace
+from repro.dfs.storage import ChunkStore, StorageError
+
+__all__ = [
+    "ChunkStore",
+    "DfsError",
+    "FileEntry",
+    "GridFileSystem",
+    "Namespace",
+    "StorageError",
+]

@@ -1,0 +1,232 @@
+"""The user-facing grid file system.
+
+Files are split into fixed-size chunks, each replicated on
+``replication`` distinct *sites* (never twice on one site), so the loss
+of any single site leaves every chunk readable — the availability story
+the paper's distributed-control argument extends to storage.  Reads
+prefer a replica at the caller's own site, mirroring the proxy
+architecture's locality principle: cross the site border only when you
+must.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.dfs.metadata import FileEntry, Namespace, NamespaceError
+from repro.dfs.storage import ChunkStore, StorageError
+
+__all__ = ["DfsError", "GridFileSystem"]
+
+_DEFAULT_CHUNK = 256 * 1024
+
+
+class DfsError(Exception):
+    """Write/read failure at the file level."""
+
+
+class GridFileSystem:
+    """Chunked, site-replicated grid storage."""
+
+    def __init__(
+        self,
+        replication: int = 2,
+        chunk_size: int = _DEFAULT_CHUNK,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if replication <= 0:
+            raise DfsError(f"replication must be positive: {replication}")
+        if chunk_size <= 0:
+            raise DfsError(f"chunk size must be positive: {chunk_size}")
+        self.replication = replication
+        self.chunk_size = chunk_size
+        self.clock = clock or (lambda: 0.0)
+        self.namespace = Namespace()
+        self._stores: dict[str, ChunkStore] = {}
+        self._placement_cursor = 0
+        self._lock = threading.Lock()
+        #: read traffic accounting for the locality experiments
+        self.local_chunk_reads = 0
+        self.remote_chunk_reads = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def add_site(self, site: str, capacity: int = 1 << 30) -> ChunkStore:
+        with self._lock:
+            if site in self._stores:
+                raise DfsError(f"site already has a store: {site!r}")
+            store = ChunkStore(site, capacity=capacity)
+            self._stores[site] = store
+            return store
+
+    def sites(self) -> list[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+    def store_of(self, site: str) -> ChunkStore:
+        with self._lock:
+            try:
+                return self._stores[site]
+            except KeyError:
+                raise DfsError(f"no store at site: {site!r}") from None
+
+    # -- placement ----------------------------------------------------------------
+
+    def _pick_sites(self, nbytes: int, preferred: Optional[str]) -> list[str]:
+        """``replication`` distinct available sites with room, preferred
+        site first (write locality), then round-robin for spread."""
+        with self._lock:
+            candidates = [
+                site
+                for site, store in self._stores.items()
+                if store.available and store.free >= nbytes
+            ]
+            if len(candidates) < self.replication:
+                raise DfsError(
+                    f"need {self.replication} sites with {nbytes} B free, "
+                    f"only {len(candidates)} available"
+                )
+            ordered = sorted(candidates)
+            # Rotate for even spread across writes.
+            start = self._placement_cursor % len(ordered)
+            self._placement_cursor += 1
+            rotation = ordered[start:] + ordered[:start]
+            if preferred in rotation:
+                rotation.remove(preferred)
+                rotation.insert(0, preferred)
+            return rotation[: self.replication]
+
+    # -- file operations -----------------------------------------------------------
+
+    def write(
+        self, path: str, data: bytes, site: Optional[str] = None
+    ) -> FileEntry:
+        """Store a file, replicating every chunk on ``replication`` sites."""
+        if self.namespace.exists(path):
+            raise DfsError(f"path exists: {path!r}")
+        entry = FileEntry(
+            path=path,
+            size=len(data),
+            chunk_size=self.chunk_size,
+            created_at=self.clock(),
+        )
+        written: list[tuple[str, str]] = []  # (site, cid) for rollback
+        try:
+            for index, offset in enumerate(
+                range(0, max(len(data), 1), self.chunk_size)
+            ):
+                chunk = data[offset : offset + self.chunk_size]
+                targets = self._pick_sites(len(chunk), preferred=site)
+                cid = None
+                for target in targets:
+                    cid = self.store_of(target).put(chunk)
+                    written.append((target, cid))
+                assert cid is not None
+                entry.chunks.append(cid)
+                entry.replicas[index] = targets
+            self.namespace.create(entry)
+        except (StorageError, NamespaceError, DfsError):
+            for target, cid in written:
+                try:
+                    self.store_of(target).release(cid)
+                except StorageError:
+                    pass
+            raise
+        return entry
+
+    def read(self, path: str, site: Optional[str] = None) -> bytes:
+        """Reassemble a file, preferring replicas at ``site``."""
+        entry = self.namespace.get(path)
+        parts = []
+        for index, cid in enumerate(entry.chunks):
+            parts.append(self._read_chunk(entry, index, cid, site))
+        data = b"".join(parts)
+        if len(data) != entry.size:
+            raise DfsError(
+                f"{path!r}: reassembled {len(data)} B, expected {entry.size}"
+            )
+        return data
+
+    def _read_chunk(
+        self, entry: FileEntry, index: int, cid: str, site: Optional[str]
+    ) -> bytes:
+        holders = entry.sites_for(index)
+        ordered = holders
+        if site in holders:
+            ordered = [site] + [h for h in holders if h != site]
+        last_error: Optional[Exception] = None
+        for holder in ordered:
+            store = self.store_of(holder)
+            if not store.available:
+                continue
+            try:
+                chunk = store.get(cid)
+            except StorageError as exc:
+                last_error = exc
+                continue
+            if site is not None and holder == site:
+                self.local_chunk_reads += 1
+            else:
+                self.remote_chunk_reads += 1
+            return chunk
+        raise DfsError(
+            f"chunk {cid[:12]}… of {entry.path!r} unavailable "
+            f"(replicas at {holders}): {last_error}"
+        )
+
+    def delete(self, path: str) -> None:
+        entry = self.namespace.remove(path)
+        for index, cid in enumerate(entry.chunks):
+            for holder in entry.sites_for(index):
+                try:
+                    self.store_of(holder).release(cid)
+                except (StorageError, DfsError):
+                    pass  # a downed site cannot release; acceptable leak
+
+    def stat(self, path: str) -> FileEntry:
+        return self.namespace.get(path)
+
+    def ls(self, prefix: str = "/") -> list[str]:
+        return self.namespace.list(prefix)
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def re_replicate(self, failed_site: str) -> int:
+        """Restore replication for chunks that lost a copy on a dead site.
+
+        Returns the number of chunk replicas recreated.  The surviving
+        copy is read from any live holder and written to a fresh site.
+        """
+        recreated = 0
+        for path in self.ls("/"):
+            entry = self.namespace.get(path)
+            for index, cid in enumerate(entry.chunks):
+                holders = entry.sites_for(index)
+                if failed_site not in holders:
+                    continue
+                survivors = [
+                    h
+                    for h in holders
+                    if h != failed_site and self.store_of(h).available
+                ]
+                if not survivors:
+                    raise DfsError(
+                        f"chunk {cid[:12]}… of {path!r} lost all replicas"
+                    )
+                chunk = self.store_of(survivors[0]).get(cid)
+                with self._lock:
+                    fresh = [
+                        site
+                        for site, store in self._stores.items()
+                        if site not in holders
+                        and store.available
+                        and store.free >= len(chunk)
+                    ]
+                if not fresh:
+                    raise DfsError(f"no site available to re-replicate {cid[:12]}…")
+                target = sorted(fresh)[0]
+                self.store_of(target).put(chunk)
+                entry.replicas[index] = survivors + [target]
+                recreated += 1
+        return recreated

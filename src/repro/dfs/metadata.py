@@ -1,0 +1,95 @@
+"""The DFS namespace: paths, chunk maps and replica locations."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["FileEntry", "Namespace", "NamespaceError"]
+
+
+class NamespaceError(Exception):
+    """Unknown path, duplicate path, or malformed name."""
+
+
+@dataclass
+class FileEntry:
+    """Metadata for one file."""
+
+    path: str
+    size: int
+    chunk_size: int
+    #: ordered chunk ids reassembling the file
+    chunks: list[str] = field(default_factory=list)
+    #: chunk index -> sites holding a replica (indexed, not cid-keyed:
+    #: a file may contain identical chunks placed on different sites)
+    replicas: dict[int, list[str]] = field(default_factory=dict)
+    created_at: float = 0.0
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    def sites_for(self, index: int) -> list[str]:
+        return list(self.replicas.get(index, []))
+
+
+def _validate_path(path: str) -> str:
+    if not path or not path.startswith("/"):
+        raise NamespaceError(f"paths must be absolute: {path!r}")
+    if "//" in path or path != path.rstrip("/") and path != "/":
+        raise NamespaceError(f"malformed path: {path!r}")
+    return path
+
+
+class Namespace:
+    """Thread-safe path → entry map with directory-style listing."""
+
+    def __init__(self):
+        self._entries: dict[str, FileEntry] = {}
+        self._lock = threading.Lock()
+
+    def create(self, entry: FileEntry) -> None:
+        _validate_path(entry.path)
+        with self._lock:
+            if entry.path in self._entries:
+                raise NamespaceError(f"path exists: {entry.path!r}")
+            self._entries[entry.path] = entry
+
+    def get(self, path: str) -> FileEntry:
+        with self._lock:
+            try:
+                return self._entries[path]
+            except KeyError:
+                raise NamespaceError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._entries
+
+    def remove(self, path: str) -> FileEntry:
+        with self._lock:
+            try:
+                return self._entries.pop(path)
+            except KeyError:
+                raise NamespaceError(f"no such file: {path!r}") from None
+
+    def list(self, prefix: str = "/") -> list[str]:
+        """Paths under a prefix, sorted."""
+        _validate_path(prefix)
+        if not prefix.endswith("/"):
+            prefix = prefix + "/"
+        with self._lock:
+            return sorted(
+                path
+                for path in self._entries
+                if path.startswith(prefix) or path == prefix.rstrip("/")
+            )
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(e.size for e in self._entries.values())
+
+    def file_count(self) -> int:
+        with self._lock:
+            return len(self._entries)

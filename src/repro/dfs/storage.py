@@ -1,0 +1,116 @@
+"""Per-site chunk stores.
+
+Each site contributes one :class:`ChunkStore` with a capacity budget;
+chunks are content-addressed (SHA-256) so integrity is verified on every
+read and identical chunks deduplicate naturally within a store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+__all__ = ["ChunkStore", "StorageError"]
+
+
+class StorageError(Exception):
+    """Capacity exhausted, missing chunk, or corruption detected."""
+
+
+def chunk_id(data: bytes) -> str:
+    """Content address of a chunk."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ChunkStore:
+    """One site's chunk storage with capacity accounting."""
+
+    def __init__(self, site: str, capacity: int = 1 << 30):
+        if capacity <= 0:
+            raise StorageError(f"capacity must be positive: {capacity}")
+        self.site = site
+        self.capacity = capacity
+        self._chunks: dict[str, bytes] = {}
+        self._refcounts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._failed = False
+
+    # -- failure injection -------------------------------------------------
+
+    def fail(self) -> None:
+        """Simulate the site's storage going down."""
+        self._failed = True
+
+    def recover(self) -> None:
+        self._failed = False
+
+    @property
+    def available(self) -> bool:
+        return not self._failed
+
+    def _check_up(self) -> None:
+        if self._failed:
+            raise StorageError(f"store at site {self.site!r} is down")
+
+    # -- chunk operations -----------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        with self._lock:
+            return sum(len(c) for c in self._chunks.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def put(self, data: bytes) -> str:
+        """Store a chunk; returns its content id.  Deduplicates."""
+        self._check_up()
+        cid = chunk_id(data)
+        with self._lock:
+            if cid in self._chunks:
+                self._refcounts[cid] += 1
+                return cid
+            current = sum(len(c) for c in self._chunks.values())
+            if current + len(data) > self.capacity:
+                raise StorageError(
+                    f"store at {self.site!r} full: need {len(data)} B, "
+                    f"{self.capacity - current} B free"
+                )
+            self._chunks[cid] = bytes(data)
+            self._refcounts[cid] = 1
+            return cid
+
+    def get(self, cid: str) -> bytes:
+        """Fetch and integrity-check a chunk."""
+        self._check_up()
+        with self._lock:
+            data = self._chunks.get(cid)
+        if data is None:
+            raise StorageError(f"chunk {cid[:12]}… not at site {self.site!r}")
+        if chunk_id(data) != cid:
+            raise StorageError(f"chunk {cid[:12]}… corrupt at site {self.site!r}")
+        return data
+
+    def has(self, cid: str) -> bool:
+        if self._failed:
+            return False
+        with self._lock:
+            return cid in self._chunks
+
+    def release(self, cid: str) -> None:
+        """Drop one reference; frees the chunk at zero."""
+        self._check_up()
+        with self._lock:
+            count = self._refcounts.get(cid)
+            if count is None:
+                return
+            if count <= 1:
+                del self._refcounts[cid]
+                del self._chunks[cid]
+            else:
+                self._refcounts[cid] = count - 1
+
+    def chunk_count(self) -> int:
+        with self._lock:
+            return len(self._chunks)

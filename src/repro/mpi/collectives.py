@@ -1,0 +1,219 @@
+"""Collective operations built on point-to-point messaging.
+
+Algorithms are the textbook tree/dissemination forms so message counts
+scale as they do in real MPI implementations (O(log n) rounds for
+barrier/bcast/reduce), which matters when the proxy benchmark counts
+inter-site traffic:
+
+* ``barrier``     — dissemination barrier, ceil(log2 n) rounds;
+* ``bcast``       — binomial tree from the root;
+* ``reduce``      — binomial tree toward the root;
+* ``allreduce``   — reduce + bcast;
+* ``gather``      — direct to root (payload sizes differ per rank);
+* ``allgather``   — gather + bcast;
+* ``scatter``     — direct from root;
+* ``alltoall``    — pairwise exchange, n-1 rounds;
+* ``scan``        — inclusive prefix, linear chain.
+
+Every collective draws one internal tag per invocation from the
+communicator's operation counter, so concurrent user traffic and earlier
+collectives can never be matched by mistake.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.mpi.datatypes import ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.communicator import Communicator
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "scan",
+    "scatter",
+]
+
+
+def barrier(comm: "Communicator", timeout: Optional[float] = None) -> None:
+    """Dissemination barrier: round k exchanges with rank ± 2^k."""
+    tag = comm._next_collective_tag()
+    n = comm.size
+    if n == 1:
+        return
+    distance = 1
+    while distance < n:
+        dest = (comm.rank + distance) % n
+        source = (comm.rank - distance) % n
+        comm._collective_send(None, dest, tag)
+        comm._collective_recv(source, tag, timeout)
+        distance *= 2
+
+
+def bcast(
+    comm: "Communicator", payload: Any, root: int = 0, timeout: Optional[float] = None
+) -> Any:
+    """Binomial-tree broadcast from ``root``; returns the payload everywhere."""
+    comm._check_peer(root)
+    tag = comm._next_collective_tag()
+    n = comm.size
+    if n == 1:
+        return payload
+    # Work in a rotated space where the root is rank 0 (classic binomial
+    # tree: receive on the lowest set bit, forward on all lower bits).
+    vrank = (comm.rank - root) % n
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % n
+            payload = comm._collective_recv(parent, tag, timeout)
+            break
+        mask *= 2
+    mask //= 2
+    while mask > 0:
+        if vrank + mask < n:
+            child = (vrank + mask + root) % n
+            comm._collective_send(payload, child, tag)
+        mask //= 2
+    return payload
+
+
+def reduce(
+    comm: "Communicator",
+    value: Any,
+    op: ReduceOp,
+    root: int = 0,
+    timeout: Optional[float] = None,
+) -> Optional[Any]:
+    """Binomial-tree reduction toward ``root``.
+
+    Returns the reduced value at the root and None elsewhere.  MPI
+    requires the combination to happen in canonical rank order (so
+    non-commutative-but-associative ops match the sequential left-fold
+    over ranks 0..n-1); rotating the tree to an arbitrary root would
+    break that, so the tree is always rooted at rank 0 — whose subtrees
+    cover contiguous rank ranges — and the result takes one extra hop to
+    a non-zero root.
+    """
+    comm._check_peer(root)
+    tag = comm._next_collective_tag()
+    n = comm.size
+    if n == 1:
+        return value
+    rank = comm.rank
+    accumulated = value
+    mask = 1
+    while mask < n:
+        if rank & mask:
+            parent = rank & ~mask
+            comm._collective_send(accumulated, parent, tag)
+            break
+        child = rank | mask
+        if child < n:
+            child_value = comm._collective_recv(child, tag, timeout)
+            # The child's subtree covers strictly higher ranks, so folding
+            # on the right preserves rank order for associative ops.
+            accumulated = op(accumulated, child_value)
+        mask *= 2
+    if root != 0:
+        if rank == 0:
+            comm._collective_send(accumulated, root, tag)
+        elif rank == root:
+            return comm._collective_recv(0, tag, timeout)
+        return None
+    return accumulated if rank == 0 else None
+
+
+def allreduce(
+    comm: "Communicator", value: Any, op: ReduceOp, timeout: Optional[float] = None
+) -> Any:
+    result = reduce(comm, value, op, root=0, timeout=timeout)
+    return bcast(comm, result, root=0, timeout=timeout)
+
+
+def gather(
+    comm: "Communicator", value: Any, root: int = 0, timeout: Optional[float] = None
+) -> Optional[list]:
+    """Gather one value per rank into a rank-ordered list at the root."""
+    comm._check_peer(root)
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        values: list = [None] * comm.size
+        values[root] = value
+        for _ in range(comm.size - 1):
+            sender, payload = comm._collective_recv(-1, tag, timeout)
+            values[sender] = payload
+        return values
+    comm._collective_send((comm.rank, value), root, tag)
+    return None
+
+
+def allgather(comm: "Communicator", value: Any, timeout: Optional[float] = None) -> list:
+    values = gather(comm, value, root=0, timeout=timeout)
+    return bcast(comm, values, root=0, timeout=timeout)
+
+
+def scatter(
+    comm: "Communicator",
+    values: Optional[list],
+    root: int = 0,
+    timeout: Optional[float] = None,
+) -> Any:
+    """Distribute values[i] to rank i from the root."""
+    from repro.mpi.communicator import MpiError
+
+    comm._check_peer(root)
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise MpiError(
+                f"scatter at root needs exactly {comm.size} values, "
+                f"got {None if values is None else len(values)}"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm._collective_send(values[dest], dest, tag)
+        return values[root]
+    return comm._collective_recv(root, tag, timeout)
+
+
+def alltoall(comm: "Communicator", values: list, timeout: Optional[float] = None) -> list:
+    """Each rank sends values[i] to rank i; returns what every rank sent us."""
+    from repro.mpi.communicator import MpiError
+
+    if len(values) != comm.size:
+        raise MpiError(
+            f"alltoall needs exactly {comm.size} values, got {len(values)}"
+        )
+    tag = comm._next_collective_tag()
+    result: list = [None] * comm.size
+    result[comm.rank] = values[comm.rank]
+    # Pairwise exchange: in round r, exchange with rank ^ r when valid, else
+    # use a linear schedule for non-power-of-two sizes.
+    for offset in range(1, comm.size):
+        dest = (comm.rank + offset) % comm.size
+        source = (comm.rank - offset) % comm.size
+        comm._collective_send(values[dest], dest, tag)
+        result[source] = comm._collective_recv(source, tag, timeout)
+    return result
+
+
+def scan(
+    comm: "Communicator", value: Any, op: ReduceOp, timeout: Optional[float] = None
+) -> Any:
+    """Inclusive prefix reduction: rank k gets op over ranks 0..k."""
+    tag = comm._next_collective_tag()
+    accumulated = value
+    if comm.rank > 0:
+        prefix = comm._collective_recv(comm.rank - 1, tag, timeout)
+        accumulated = op(prefix, value)
+    if comm.rank + 1 < comm.size:
+        comm._collective_send(accumulated, comm.rank + 1, tag)
+    return accumulated

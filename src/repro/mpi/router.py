@@ -1,0 +1,139 @@
+"""Message routing between MPI ranks — the proxy's interposition seam.
+
+A :class:`Router` moves :class:`~repro.mpi.datatypes.Envelope` objects
+between rank endpoints.  The application-visible API
+(:class:`~repro.mpi.communicator.Communicator`) only ever talks to a
+router, so swapping :class:`LocalRouter` (direct mailbox delivery — the
+paper's Fig. 3a) for the proxy's multiplexing router (Fig. 3b) is
+invisible to MPI code.  That is precisely the paper's transparency claim,
+and experiment E3 measures the difference between the two.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.mpi.datatypes import Envelope
+
+__all__ = ["Endpoint", "LocalRouter", "Router", "RouterError"]
+
+
+class RouterError(Exception):
+    """Unknown destination rank or delivery to a finished job."""
+
+
+class Endpoint:
+    """A rank's mailbox: thread-safe, with (source, tag) matching.
+
+    MPI receive semantics: messages from the same source arrive in send
+    order; ``match`` returns the *first* pending message satisfying the
+    (source, tag) pattern, where -1 acts as a wildcard on either field.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._pending: list[Envelope] = []
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._closed = False
+
+    def deliver(self, envelope: Envelope) -> None:
+        with self._arrival:
+            if self._closed:
+                raise RouterError(f"endpoint {self.rank} is closed")
+            self._pending.append(envelope)
+            self._arrival.notify_all()
+
+    def close(self) -> None:
+        with self._arrival:
+            self._closed = True
+            self._arrival.notify_all()
+
+    def _find(self, source: int, tag: int) -> Optional[int]:
+        for index, envelope in enumerate(self._pending):
+            if source not in (-1, envelope.source):
+                continue
+            if tag not in (-1, envelope.tag):
+                continue
+            return index
+        return None
+
+    def match(
+        self, source: int, tag: int, timeout: Optional[float] = None
+    ) -> Envelope:
+        """Block until a matching message arrives, then remove and return it."""
+        with self._arrival:
+            remaining = timeout
+            start = time.monotonic()
+            while True:
+                index = self._find(source, tag)
+                if index is not None:
+                    return self._pending.pop(index)
+                if self._closed:
+                    raise RouterError(f"endpoint {self.rank} closed while receiving")
+                if timeout is not None:
+                    remaining = timeout - (time.monotonic() - start)
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"rank {self.rank}: no message from source={source} "
+                            f"tag={tag} within {timeout}s"
+                        )
+                self._arrival.wait(timeout=remaining)
+
+    def peek(self, source: int, tag: int) -> Optional[Envelope]:
+        """Non-destructive probe for a matching message."""
+        with self._lock:
+            index = self._find(source, tag)
+            return self._pending[index] if index is not None else None
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+class Router(abc.ABC):
+    """Moves envelopes between ranks."""
+
+    @abc.abstractmethod
+    def send(self, envelope: Envelope) -> None:
+        """Deliver (or forward) one envelope toward its destination rank."""
+
+    @abc.abstractmethod
+    def endpoint(self, rank: int) -> Endpoint:
+        """The local mailbox for a rank hosted by this router."""
+
+
+class LocalRouter(Router):
+    """Direct delivery inside one process — a single cluster's MPI fabric.
+
+    An optional ``on_send`` hook observes every envelope (benchmarks count
+    traffic with it) without perturbing delivery.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"world size must be positive: {size}")
+        self.size = size
+        self._endpoints = [Endpoint(rank) for rank in range(size)]
+        self.on_send: Optional[Callable[[Envelope], None]] = None
+
+    def send(self, envelope: Envelope) -> None:
+        if not 0 <= envelope.dest < self.size:
+            raise RouterError(
+                f"destination rank {envelope.dest} outside world of {self.size}"
+            )
+        if self.on_send is not None:
+            self.on_send(envelope)
+        self._endpoints[envelope.dest].deliver(envelope)
+
+    def endpoint(self, rank: int) -> Endpoint:
+        if not 0 <= rank < self.size:
+            raise RouterError(f"rank {rank} outside world of {self.size}")
+        return self._endpoints[rank]
+
+    def close(self) -> None:
+        for endpoint in self._endpoints:
+            endpoint.close()

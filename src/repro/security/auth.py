@@ -1,0 +1,285 @@
+"""User authentication and access permissions.
+
+The paper's client-authentication layer "is responsible for providing user
+authentication and right of access", with userid/password authentication,
+digital signatures, and "access permissions … controlled individually or
+by user groups", validated at both the originating and destination proxies.
+
+This module provides:
+
+* :class:`UserDirectory` — userid → salted-hashed password plus optional
+  registered signing key; group membership.
+* :class:`AccessControlList` — (principal, resource, action) permissions
+  where a principal is a user or a group, with deny-by-default semantics.
+* :class:`Credential` — a signed assertion of identity a proxy can verify
+  without contacting the home site (used for the destination-proxy check).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.security.rsa import RsaKeyPair, RsaPublicKey
+from repro.transport.frames import decode_value, encode_value
+
+__all__ = [
+    "AccessControlList",
+    "AuthenticationError",
+    "Credential",
+    "PermissionDenied",
+    "UserDirectory",
+]
+
+_PBKDF_ITERATIONS = 10_000  # modest: per-request auth cost matters in E8
+
+
+class AuthenticationError(Exception):
+    """Unknown user, wrong password, or bad signature."""
+
+
+class PermissionDenied(Exception):
+    """The ACL rejected the (user, resource, action) triple."""
+
+
+@dataclass
+class _UserRecord:
+    userid: str
+    salt: bytes
+    password_hash: bytes
+    public_key: Optional[RsaPublicKey] = None
+    enabled: bool = True
+
+
+class UserDirectory:
+    """Userid/password store with group membership.
+
+    Passwords are salted PBKDF2-HMAC-SHA256; verification is constant-time.
+    """
+
+    def __init__(self):
+        self._users: dict[str, _UserRecord] = {}
+        self._groups: dict[str, set[str]] = {}
+
+    # -- user management -----------------------------------------------------
+
+    def add_user(
+        self,
+        userid: str,
+        password: str,
+        public_key: Optional[RsaPublicKey] = None,
+    ) -> None:
+        if not userid:
+            raise ValueError("empty userid")
+        if userid in self._users:
+            raise ValueError(f"user already exists: {userid!r}")
+        salt = secrets.token_bytes(16)
+        self._users[userid] = _UserRecord(
+            userid=userid,
+            salt=salt,
+            password_hash=self._hash(password, salt),
+            public_key=public_key,
+        )
+
+    def remove_user(self, userid: str) -> None:
+        if userid not in self._users:
+            raise KeyError(userid)
+        del self._users[userid]
+        for members in self._groups.values():
+            members.discard(userid)
+
+    def disable_user(self, userid: str) -> None:
+        self._record(userid).enabled = False
+
+    def set_password(self, userid: str, password: str) -> None:
+        record = self._record(userid)
+        record.salt = secrets.token_bytes(16)
+        record.password_hash = self._hash(password, record.salt)
+
+    def register_key(self, userid: str, public_key: RsaPublicKey) -> None:
+        self._record(userid).public_key = public_key
+
+    def known_users(self) -> list[str]:
+        return sorted(self._users)
+
+    def _record(self, userid: str) -> _UserRecord:
+        try:
+            return self._users[userid]
+        except KeyError:
+            raise KeyError(f"unknown user: {userid!r}") from None
+
+    @staticmethod
+    def _hash(password: str, salt: bytes) -> bytes:
+        return hashlib.pbkdf2_hmac(
+            "sha256", password.encode("utf-8"), salt, _PBKDF_ITERATIONS
+        )
+
+    # -- authentication --------------------------------------------------------
+
+    def authenticate_password(self, userid: str, password: str) -> None:
+        """Check a userid/password pair; raises AuthenticationError."""
+        record = self._users.get(userid)
+        if record is None or not record.enabled:
+            # Burn the same hashing cost for unknown users (timing parity).
+            self._hash(password, b"\x00" * 16)
+            raise AuthenticationError(f"authentication failed for {userid!r}")
+        candidate = self._hash(password, record.salt)
+        if not hmac.compare_digest(candidate, record.password_hash):
+            raise AuthenticationError(f"authentication failed for {userid!r}")
+
+    def verify_signature(self, userid: str, message: bytes, signature: bytes) -> None:
+        """Check a digital signature against the user's registered key."""
+        record = self._users.get(userid)
+        if record is None or not record.enabled or record.public_key is None:
+            raise AuthenticationError(f"no signing key for {userid!r}")
+        if not record.public_key.verify(message, signature):
+            raise AuthenticationError(f"signature verification failed for {userid!r}")
+
+    # -- groups ------------------------------------------------------------------
+
+    def create_group(self, group: str) -> None:
+        if group in self._groups:
+            raise ValueError(f"group already exists: {group!r}")
+        self._groups[group] = set()
+
+    def add_to_group(self, group: str, userid: str) -> None:
+        if group not in self._groups:
+            raise KeyError(f"unknown group: {group!r}")
+        self._record(userid)  # validates the user exists
+        self._groups[group].add(userid)
+
+    def remove_from_group(self, group: str, userid: str) -> None:
+        if group not in self._groups:
+            raise KeyError(f"unknown group: {group!r}")
+        self._groups[group].discard(userid)
+
+    def groups_of(self, userid: str) -> set[str]:
+        return {g for g, members in self._groups.items() if userid in members}
+
+
+class AccessControlList:
+    """Deny-by-default permissions for users and groups.
+
+    Rules are (principal, resource-pattern, action) triples; principals
+    are ``"user:alice"`` or ``"group:physics"``, resource patterns are
+    fnmatch globs over resource names (``"site:*"``, ``"mpi:run"``).
+    Explicit deny rules override grants, so a compromised group membership
+    cannot resurrect a banned user.
+    """
+
+    def __init__(self, directory: UserDirectory):
+        self._directory = directory
+        self._grants: list[tuple[str, str, str]] = []
+        self._denies: list[tuple[str, str, str]] = []
+
+    def grant(self, principal: str, resource_pattern: str, action: str) -> None:
+        self._grants.append(self._validated(principal, resource_pattern, action))
+
+    def deny(self, principal: str, resource_pattern: str, action: str) -> None:
+        self._denies.append(self._validated(principal, resource_pattern, action))
+
+    @staticmethod
+    def _validated(principal: str, pattern: str, action: str) -> tuple[str, str, str]:
+        kind, _, name = principal.partition(":")
+        if kind not in ("user", "group") or not name:
+            raise ValueError(
+                f"principal must be 'user:<id>' or 'group:<id>': {principal!r}"
+            )
+        if not pattern or not action:
+            raise ValueError("empty resource pattern or action")
+        return principal, pattern, action
+
+    def _principals_for(self, userid: str) -> set[str]:
+        principals = {f"user:{userid}"}
+        principals.update(f"group:{g}" for g in self._directory.groups_of(userid))
+        return principals
+
+    def is_allowed(self, userid: str, resource: str, action: str) -> bool:
+        principals = self._principals_for(userid)
+
+        def matches(rules: list[tuple[str, str, str]]) -> bool:
+            return any(
+                principal in principals
+                and fnmatch.fnmatchcase(resource, pattern)
+                and (rule_action == action or rule_action == "*")
+                for principal, pattern, rule_action in rules
+            )
+
+        if matches(self._denies):
+            return False
+        return matches(self._grants)
+
+    def check(self, userid: str, resource: str, action: str) -> None:
+        if not self.is_allowed(userid, resource, action):
+            raise PermissionDenied(
+                f"user {userid!r} may not {action!r} on {resource!r}"
+            )
+
+
+class Credential:
+    """A signed identity assertion, verifiable at the destination proxy.
+
+    The originating proxy authenticates the user (password or signature)
+    and emits a credential signed with the *proxy's* key; the destination
+    proxy trusts it because the proxy's certificate chains to the grid CA.
+    This implements the paper's "access permissions are validated at the
+    originating and destination proxies" without a round-trip to the home
+    site per request.
+    """
+
+    def __init__(self, userid: str, issuer: str, issued_at: float, payload: bytes, signature: bytes):
+        self.userid = userid
+        self.issuer = issuer
+        self.issued_at = issued_at
+        self._payload = payload
+        self.signature = signature
+
+    @classmethod
+    def issue(
+        cls, userid: str, issuer: str, now: float, issuer_key: RsaKeyPair
+    ) -> "Credential":
+        payload = encode_value(
+            {"userid": userid, "issuer": issuer, "issued_at": now}
+        )
+        return cls(
+            userid=userid,
+            issuer=issuer,
+            issued_at=now,
+            payload=payload,
+            signature=issuer_key.sign(payload),
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode_value({"payload": self._payload, "signature": self.signature})
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Credential":
+        try:
+            outer = decode_value(blob)
+            fields = decode_value(outer["payload"])
+            return cls(
+                userid=fields["userid"],
+                issuer=fields["issuer"],
+                issued_at=fields["issued_at"],
+                payload=outer["payload"],
+                signature=outer["signature"],
+            )
+        except Exception as exc:
+            raise AuthenticationError(f"malformed credential: {exc}") from exc
+
+    def verify(
+        self, issuer_public: RsaPublicKey, now: float, max_age: float = 3600.0
+    ) -> None:
+        """Check signature and freshness."""
+        if not issuer_public.verify(self._payload, self.signature):
+            raise AuthenticationError(
+                f"credential signature invalid (user {self.userid!r})"
+            )
+        if now - self.issued_at > max_age:
+            raise AuthenticationError(f"credential expired (user {self.userid!r})")
+        if self.issued_at - now > 60.0:
+            raise AuthenticationError("credential issued in the future")

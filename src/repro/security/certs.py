@@ -1,0 +1,109 @@
+"""Digital certificates for host authentication.
+
+The paper authenticates hosts "through digital certificates" issued by a
+grid-wide Certification Authority.  A :class:`Certificate` binds a subject
+name (a proxy or node identity like ``"proxy.siteA"``) and a role to an
+RSA public key, signed by the CA; validity is a [not_before, not_after]
+interval in seconds (the middleware supplies its clock, wall or simulated).
+
+Certificates serialise through the same gridcodec used on the wire, so a
+certificate travels inside handshake frames unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.security.rsa import RsaPublicKey
+from repro.transport.frames import decode_value, encode_value
+
+__all__ = ["Certificate", "CertificateError"]
+
+
+class CertificateError(Exception):
+    """Malformed, expired, or wrongly-signed certificate."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-signed binding of subject → public key."""
+
+    subject: str
+    role: str  # "proxy" | "node" | "user" | "service" | "ca"
+    public_key: RsaPublicKey
+    issuer: str
+    serial: int
+    not_before: float
+    not_after: float
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed portion (everything except the signature)."""
+        return encode_value(
+            {
+                "subject": self.subject,
+                "role": self.role,
+                "public_key": self.public_key.to_bytes(),
+                "issuer": self.issuer,
+                "serial": self.serial,
+                "not_before": self.not_before,
+                "not_after": self.not_after,
+            }
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode_value(
+            {"tbs": self.tbs_bytes(), "signature": self.signature}
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Certificate":
+        try:
+            outer = decode_value(blob)
+            fields = decode_value(outer["tbs"])
+            return cls(
+                subject=fields["subject"],
+                role=fields["role"],
+                public_key=RsaPublicKey.from_bytes(fields["public_key"]),
+                issuer=fields["issuer"],
+                serial=fields["serial"],
+                not_before=fields["not_before"],
+                not_after=fields["not_after"],
+                signature=outer["signature"],
+            )
+        except CertificateError:
+            raise
+        except Exception as exc:
+            raise CertificateError(f"malformed certificate: {exc}") from exc
+
+    # -- validation ----------------------------------------------------------
+
+    def verify_signature(self, issuer_key: RsaPublicKey) -> bool:
+        return issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    def is_valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+    def check(
+        self,
+        issuer_key: RsaPublicKey,
+        now: float,
+        expected_role: Optional[str] = None,
+    ) -> None:
+        """Full validation; raises CertificateError describing the fault."""
+        if not self.verify_signature(issuer_key):
+            raise CertificateError(
+                f"certificate for {self.subject!r}: signature invalid"
+            )
+        if now < self.not_before:
+            raise CertificateError(
+                f"certificate for {self.subject!r}: not yet valid"
+            )
+        if now > self.not_after:
+            raise CertificateError(f"certificate for {self.subject!r}: expired")
+        if expected_role is not None and self.role != expected_role:
+            raise CertificateError(
+                f"certificate for {self.subject!r}: role {self.role!r}, "
+                f"expected {expected_role!r}"
+            )

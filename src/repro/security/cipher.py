@@ -1,0 +1,128 @@
+"""Authenticated symmetric records: the tunnel's bulk cipher.
+
+Once the handshake agrees on session keys, every tunneled frame body is
+protected by :class:`RecordCipher`: a SHA-256-based counter-mode keystream
+for confidentiality and HMAC-SHA-256 over (sequence number, header,
+ciphertext) for integrity, composed encrypt-then-MAC.  Sequence numbers
+are bound into both keystream and MAC, so replayed, reordered or
+truncated records are rejected — the properties SSL gave the paper.
+
+Record layout::
+
+    seq      8 bytes   big-endian record sequence number
+    mac     32 bytes   HMAC-SHA-256 tag
+    body     n bytes   ciphertext
+
+Pure-Python and therefore slow relative to AES-NI; the simulation layer
+models crypto cost per byte separately, and benchmark E9 measures the
+real implementation's throughput.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+import struct
+from dataclasses import dataclass
+
+__all__ = ["CipherError", "RecordCipher", "SessionKeys", "derive_session_keys"]
+
+_SEQ = struct.Struct("!Q")
+_MAC_LEN = 32
+_HEADER_LEN = _SEQ.size + _MAC_LEN
+_BLOCK = 32  # SHA-256 output size drives the keystream block
+
+
+class CipherError(Exception):
+    """Raised on MAC failure, replay, or malformed records."""
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """Directional key material derived from a handshake secret."""
+
+    encrypt_key: bytes
+    mac_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.encrypt_key) != 32 or len(self.mac_key) != 32:
+            raise CipherError("session keys must be 32 bytes each")
+
+
+def derive_session_keys(master_secret: bytes, direction: str) -> SessionKeys:
+    """Expand a master secret into directional encrypt/MAC keys.
+
+    ``direction`` is a label ("client" or "server") so each flow direction
+    gets independent keys, as TLS does.
+    """
+    if not master_secret:
+        raise CipherError("empty master secret")
+    enc = hashlib.sha256(b"enc|" + direction.encode() + b"|" + master_secret).digest()
+    mac = hashlib.sha256(b"mac|" + direction.encode() + b"|" + master_secret).digest()
+    return SessionKeys(encrypt_key=enc, mac_key=mac)
+
+
+def _keystream(key: bytes, seq: int, nbytes: int) -> bytes:
+    """SHA-256 in counter mode: KS_i = H(key || seq || i)."""
+    blocks = []
+    seq_raw = _SEQ.pack(seq)
+    for counter in range((nbytes + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + seq_raw + counter.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:nbytes]
+
+
+class RecordCipher:
+    """One direction of an established secure channel.
+
+    The sender and receiver each hold a RecordCipher built from the same
+    :class:`SessionKeys`; ``seal`` increments the send sequence, ``open``
+    enforces strictly increasing receive sequence (replay protection).
+    """
+
+    def __init__(self, keys: SessionKeys):
+        self.keys = keys
+        self._send_seq = 0
+        self._recv_seq = -1
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt and authenticate one record."""
+        seq = self._send_seq
+        self._send_seq += 1
+        stream = _keystream(self.keys.encrypt_key, seq, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = hmac.new(
+            self.keys.mac_key, _SEQ.pack(seq) + ciphertext, hashlib.sha256
+        ).digest()
+        return _SEQ.pack(seq) + mac + ciphertext
+
+    def open(self, record: bytes) -> bytes:
+        """Verify and decrypt one record; raises CipherError on any fault."""
+        if len(record) < _HEADER_LEN:
+            raise CipherError(f"record too short: {len(record)} bytes")
+        seq = _SEQ.unpack_from(record, 0)[0]
+        mac = record[_SEQ.size : _HEADER_LEN]
+        ciphertext = record[_HEADER_LEN:]
+        expected = hmac.new(
+            self.keys.mac_key, _SEQ.pack(seq) + ciphertext, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise CipherError("record MAC verification failed")
+        if seq <= self._recv_seq:
+            raise CipherError(f"replayed or reordered record: seq {seq}")
+        self._recv_seq = seq
+        stream = _keystream(self.keys.encrypt_key, seq, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+    @staticmethod
+    def overhead() -> int:
+        """Fixed bytes added to every record."""
+        return _HEADER_LEN
+
+
+def random_master_secret() -> bytes:
+    """Fresh 32-byte master secret (used by tests and the RSA key-transport
+    handshake variant, where the client generates the secret)."""
+    return secrets.token_bytes(32)

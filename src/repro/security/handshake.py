@@ -1,0 +1,422 @@
+"""SSL-like handshake establishing a secure channel between sites.
+
+The paper tunnels inter-site traffic over SSL with mutual host
+authentication via CA-issued certificates.  This module reproduces that
+structure over any :class:`~repro.transport.channel.Channel`:
+
+==========  =======================================================
+Message     Content
+==========  =======================================================
+HELLO  →    client random, offered key-exchange modes
+HELLO  ←    server random, chosen mode, server certificate,
+            server DH public + signature over (randoms, DH public)
+KEYEX  →    client certificate, client key-exchange payload
+            (DH public, or pre-master secret encrypted to the
+            server's RSA key), signature over the transcript
+FINISH ←    HMAC over the transcript under the server write key
+FINISH →    HMAC over the transcript under the client write key
+==========  =======================================================
+
+Two key-exchange modes, selectable per connection:
+
+* ``"dh"``  — ephemeral Diffie–Hellman, forward secret (default);
+* ``"rsa"`` — RSA key transport: client picks the pre-master secret and
+  encrypts it to the server's certified key (cheaper for the client).
+
+After FINISH verification both ends hold directional
+:class:`~repro.security.cipher.RecordCipher` pairs, wrapped in a
+:class:`SecureChannel` that seals *entire frames* (headers included) so
+tunnel observers see only record lengths — matching the paper's "traffic
+tunneling" design where the proxy encrypts whole flows, not payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from typing import Callable, Optional
+
+from repro.security.ca import CertificationAuthority
+from repro.security.certs import Certificate, CertificateError
+from repro.security.cipher import RecordCipher, derive_session_keys
+from repro.security.dh import DiffieHellman
+from repro.security.rsa import RsaKeyPair, RsaPublicKey
+from repro.transport.channel import Channel
+from repro.transport.errors import TransportError
+from repro.transport.frames import (
+    Frame,
+    FrameKind,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+
+__all__ = [
+    "HandshakeError",
+    "PeerIdentity",
+    "SecureChannel",
+    "accept_secure",
+    "connect_secure",
+]
+
+_MODES = ("dh", "rsa")
+
+
+class HandshakeError(Exception):
+    """Any failure to establish the secure channel."""
+
+
+class PeerIdentity:
+    """What the handshake authenticated about the other end."""
+
+    def __init__(self, certificate: Certificate):
+        self.certificate = certificate
+
+    @property
+    def subject(self) -> str:
+        return self.certificate.subject
+
+    @property
+    def role(self) -> str:
+        return self.certificate.role
+
+    def __repr__(self) -> str:
+        return f"PeerIdentity({self.subject!r}, role={self.role!r})"
+
+
+class SecureChannel(Channel):
+    """A channel whose frames are sealed end-to-end.
+
+    Wraps an established plaintext channel: every outgoing frame is
+    serialised, encrypted and authenticated as one record carried in a
+    DATA frame; incoming records are verified, decrypted and re-parsed.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        send_cipher: RecordCipher,
+        recv_cipher: RecordCipher,
+        peer: PeerIdentity,
+        name: str = "secure",
+    ):
+        super().__init__(name=name)
+        self._inner = inner
+        self._send_cipher = send_cipher
+        self._recv_cipher = recv_cipher
+        self.peer = peer
+
+    def send(self, frame: Frame) -> None:
+        record = self._send_cipher.seal(encode_frame(frame))
+        carrier = Frame(kind=FrameKind.DATA, channel=frame.channel, payload=record)
+        self._inner.send(carrier)
+        self.stats.on_send(len(record))
+
+    def recv(self, timeout: Optional[float] = None) -> Frame:
+        carrier = self._inner.recv(timeout=timeout)
+        try:
+            plaintext = self._recv_cipher.open(carrier.payload)
+            frame = decode_frame(plaintext)
+        except Exception as exc:
+            raise HandshakeError(f"record verification failed: {exc}") from exc
+        self.stats.on_receive(len(carrier.payload))
+        return frame
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+
+# ---------------------------------------------------------------------------
+# Handshake driver
+# ---------------------------------------------------------------------------
+
+
+def _hs_frame(step: str, body: dict) -> Frame:
+    return Frame(
+        kind=FrameKind.HANDSHAKE, headers={"step": step}, payload=encode_value(body)
+    )
+
+
+def _expect(channel: Channel, step: str, timeout: float) -> dict:
+    try:
+        frame = channel.recv(timeout=timeout)
+    except TransportError as exc:
+        raise HandshakeError(f"handshake interrupted waiting for {step}: {exc}") from exc
+    if frame.kind != FrameKind.HANDSHAKE:
+        raise HandshakeError(f"expected HANDSHAKE frame, got {frame.kind.name}")
+    got = frame.headers.get("step")
+    if got != step:
+        raise HandshakeError(f"expected handshake step {step!r}, got {got!r}")
+    try:
+        body = decode_value(frame.payload)
+    except Exception as exc:  # hostile peers send arbitrary bytes
+        raise HandshakeError(f"malformed handshake body for {step!r}: {exc}") from exc
+    if not isinstance(body, dict):
+        raise HandshakeError(f"handshake body for {step!r} is not a dict")
+    return body
+
+
+def _master_secret(pre_master: bytes, client_random: bytes, server_random: bytes) -> bytes:
+    return hashlib.sha256(
+        b"master|" + pre_master + client_random + server_random
+    ).digest()
+
+
+def _transcript_digest(*parts: bytes) -> bytes:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def _validate_peer_cert(
+    blob: bytes,
+    trust_anchor: RsaPublicKey,
+    now: float,
+    expected_role: Optional[str],
+) -> Certificate:
+    try:
+        cert = Certificate.from_bytes(blob)
+        cert.check(trust_anchor, now, expected_role=expected_role)
+    except CertificateError as exc:
+        raise HandshakeError(f"peer certificate rejected: {exc}") from exc
+    return cert
+
+
+def connect_secure(
+    channel: Channel,
+    keypair: RsaKeyPair,
+    certificate: Certificate,
+    trust_anchor: RsaPublicKey,
+    clock: Callable[[], float],
+    mode: str = "dh",
+    expected_peer_role: Optional[str] = None,
+    timeout: float = 30.0,
+) -> SecureChannel:
+    """Run the client side of the handshake on ``channel``.
+
+    Every failure — protocol violation, malformed field, peer
+    disconnect — surfaces as :class:`HandshakeError`: handshake input is
+    untrusted by definition.
+    """
+    try:
+        return _connect_secure(
+            channel,
+            keypair,
+            certificate,
+            trust_anchor,
+            clock,
+            mode,
+            expected_peer_role,
+            timeout,
+        )
+    except HandshakeError:
+        raise
+    except Exception as exc:
+        raise HandshakeError(f"handshake failed: {exc}") from exc
+
+
+def _connect_secure(
+    channel: Channel,
+    keypair: RsaKeyPair,
+    certificate: Certificate,
+    trust_anchor: RsaPublicKey,
+    clock: Callable[[], float],
+    mode: str,
+    expected_peer_role: Optional[str],
+    timeout: float,
+) -> SecureChannel:
+    if mode not in _MODES:
+        raise HandshakeError(f"unknown key-exchange mode: {mode!r}")
+    client_random = secrets.token_bytes(32)
+    channel.send(_hs_frame("hello", {"random": client_random, "modes": list(_MODES), "preferred": mode}))
+
+    server_hello = _expect(channel, "hello", timeout)
+    server_random = server_hello["random"]
+    chosen = server_hello["mode"]
+    if chosen not in _MODES:
+        raise HandshakeError(f"server chose unknown mode: {chosen!r}")
+    server_cert = _validate_peer_cert(
+        server_hello["certificate"], trust_anchor, clock(), expected_peer_role
+    )
+
+    if chosen == "dh":
+        server_dh_public = server_hello["dh_public"]
+        signed_blob = _transcript_digest(
+            client_random, server_random, encode_value(server_dh_public)
+        )
+        if not server_cert.public_key.verify(signed_blob, server_hello["signature"]):
+            raise HandshakeError("server key-exchange signature invalid")
+        dh = DiffieHellman()
+        pre_master = dh.shared_secret(server_dh_public)
+        key_exchange: dict = {"dh_public": dh.public}
+    else:  # rsa key transport
+        pre_master = secrets.token_bytes(32)
+        key_exchange = {
+            "encrypted_pre_master": server_cert.public_key.encrypt(pre_master)
+        }
+
+    transcript = _transcript_digest(
+        client_random,
+        server_random,
+        certificate.to_bytes(),
+        encode_value(key_exchange),
+    )
+    channel.send(
+        _hs_frame(
+            "keyex",
+            {
+                "certificate": certificate.to_bytes(),
+                "exchange": key_exchange,
+                "signature": keypair.sign(transcript),
+            },
+        )
+    )
+
+    master = _master_secret(pre_master, client_random, server_random)
+    client_keys = derive_session_keys(master, "client")
+    server_keys = derive_session_keys(master, "server")
+
+    finish = _expect(channel, "finish", timeout)
+    expected_mac = hmac.new(server_keys.mac_key, transcript, hashlib.sha256).digest()
+    if not hmac.compare_digest(finish["mac"], expected_mac):
+        raise HandshakeError("server FINISH verification failed")
+
+    channel.send(
+        _hs_frame(
+            "finish",
+            {"mac": hmac.new(client_keys.mac_key, transcript, hashlib.sha256).digest()},
+        )
+    )
+
+    return SecureChannel(
+        inner=channel,
+        send_cipher=RecordCipher(client_keys),
+        recv_cipher=RecordCipher(server_keys),
+        peer=PeerIdentity(server_cert),
+        name=f"secure:{certificate.subject}->{server_cert.subject}",
+    )
+
+
+def accept_secure(
+    channel: Channel,
+    keypair: RsaKeyPair,
+    certificate: Certificate,
+    trust_anchor: RsaPublicKey,
+    clock: Callable[[], float],
+    expected_peer_role: Optional[str] = None,
+    timeout: float = 30.0,
+    revocation_check: Optional[Callable[[Certificate], bool]] = None,
+) -> SecureChannel:
+    """Run the server side of the handshake on ``channel``.
+
+    ``revocation_check`` (cert → bool) lets a proxy consult the CA's
+    revocation list for client certificates.  All failures surface as
+    :class:`HandshakeError` (see :func:`connect_secure`).
+    """
+    try:
+        return _accept_secure(
+            channel,
+            keypair,
+            certificate,
+            trust_anchor,
+            clock,
+            expected_peer_role,
+            timeout,
+            revocation_check,
+        )
+    except HandshakeError:
+        raise
+    except Exception as exc:
+        raise HandshakeError(f"handshake failed: {exc}") from exc
+
+
+def _accept_secure(
+    channel: Channel,
+    keypair: RsaKeyPair,
+    certificate: Certificate,
+    trust_anchor: RsaPublicKey,
+    clock: Callable[[], float],
+    expected_peer_role: Optional[str],
+    timeout: float,
+    revocation_check: Optional[Callable[[Certificate], bool]],
+) -> SecureChannel:
+    hello = _expect(channel, "hello", timeout)
+    client_random = hello["random"]
+    offered = hello.get("modes", [])
+    preferred = hello.get("preferred", "dh")
+    mode = preferred if preferred in _MODES and preferred in offered else "dh"
+
+    server_random = secrets.token_bytes(32)
+    response: dict = {
+        "random": server_random,
+        "mode": mode,
+        "certificate": certificate.to_bytes(),
+    }
+    dh: Optional[DiffieHellman] = None
+    if mode == "dh":
+        dh = DiffieHellman()
+        response["dh_public"] = dh.public
+        response["signature"] = keypair.sign(
+            _transcript_digest(client_random, server_random, encode_value(dh.public))
+        )
+    channel.send(_hs_frame("hello", response))
+
+    keyex = _expect(channel, "keyex", timeout)
+    client_cert = _validate_peer_cert(
+        keyex["certificate"], trust_anchor, clock(), expected_peer_role
+    )
+    if revocation_check is not None and revocation_check(client_cert):
+        raise HandshakeError(
+            f"peer certificate rejected: revoked ({client_cert.subject!r})"
+        )
+    exchange = keyex["exchange"]
+    transcript = _transcript_digest(
+        client_random,
+        server_random,
+        keyex["certificate"],
+        encode_value(exchange),
+    )
+    if not client_cert.public_key.verify(transcript, keyex["signature"]):
+        raise HandshakeError("client transcript signature invalid")
+
+    if mode == "dh":
+        assert dh is not None
+        pre_master = dh.shared_secret(exchange["dh_public"])
+    else:
+        try:
+            pre_master = keypair.decrypt(exchange["encrypted_pre_master"])
+        except Exception as exc:
+            raise HandshakeError(f"pre-master decryption failed: {exc}") from exc
+        if len(pre_master) != 32:
+            raise HandshakeError("pre-master secret has wrong length")
+
+    master = _master_secret(pre_master, client_random, server_random)
+    client_keys = derive_session_keys(master, "client")
+    server_keys = derive_session_keys(master, "server")
+
+    channel.send(
+        _hs_frame(
+            "finish",
+            {"mac": hmac.new(server_keys.mac_key, transcript, hashlib.sha256).digest()},
+        )
+    )
+    finish = _expect(channel, "finish", timeout)
+    expected_mac = hmac.new(client_keys.mac_key, transcript, hashlib.sha256).digest()
+    if not hmac.compare_digest(finish["mac"], expected_mac):
+        raise HandshakeError("client FINISH verification failed")
+
+    return SecureChannel(
+        inner=channel,
+        send_cipher=RecordCipher(server_keys),
+        recv_cipher=RecordCipher(client_keys),
+        peer=PeerIdentity(client_cert),
+        name=f"secure:{certificate.subject}->{client_cert.subject}",
+    )

@@ -1,0 +1,97 @@
+"""Number-theoretic primitives for the security substrate.
+
+Provides what RSA and Diffie–Hellman need: fast modular exponentiation
+(Python's built-in ``pow``), Miller–Rabin primality testing, random prime
+generation, and modular inverses.  Primes come from :mod:`secrets` so key
+material is unpredictable even though the rest of the library is seeded.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+__all__ = [
+    "generate_prime",
+    "is_probable_prime",
+    "modinv",
+]
+
+#: Deterministic witnesses make Miller–Rabin *exact* for n < 3.3e24,
+#: covering every small-prime case; random witnesses are added on top for
+#: larger candidates.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def is_probable_prime(n: int, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic witnesses are always tried; ``rounds`` random witnesses
+    are added for numbers beyond the deterministic range.  False positives
+    are below 4^-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witnesses():
+        for a in _DETERMINISTIC_WITNESSES:
+            yield a
+        if n >= 3_317_044_064_679_887_385_961_981:
+            for _ in range(rounds):
+                yield secrets.randbelow(n - 3) + 2
+
+    for a in witnesses():
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int) -> int:
+    """Generate a random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m`` (extended Euclid).
+
+    Raises ValueError when gcd(a, m) != 1.
+    """
+    if m <= 0:
+        raise ValueError(f"modulus must be positive: {m}")
+    old_r, r = a % m, m
+    old_s, s = 1, 0
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return old_s % m

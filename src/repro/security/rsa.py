@@ -1,0 +1,173 @@
+"""RSA key pairs, signatures and key transport.
+
+Substitutes for the asymmetric half of OpenSSL in the paper's security
+layer.  Signatures use the classic "hash, pad, modexp" construction
+(PKCS#1 v1.5 style padding over SHA-256); encryption uses simple random
+padding sufficient for transporting symmetric session keys during the
+handshake.
+
+The implementation favours clarity over side-channel resistance — this is
+a research reproduction, **not** production cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.security.numbers import generate_prime, modinv
+
+__all__ = ["RsaError", "RsaKeyPair", "RsaPublicKey", "DEFAULT_KEY_BITS"]
+
+#: 1024-bit keys were the contemporary choice in 2003 and keep pure-Python
+#: keygen fast; tests use smaller keys, benches sweep sizes.
+DEFAULT_KEY_BITS = 1024
+
+_PUBLIC_EXPONENT = 65537
+_SIG_MARKER = b"\x01"  # domain separation: signature padding
+_ENC_MARKER = b"\x02"  # domain separation: encryption padding
+
+
+class RsaError(Exception):
+    """Raised for malformed keys, oversized plaintexts, bad ciphertexts."""
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """The public half (n, e): verify signatures, encrypt session keys."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Stable short identifier for logs and certificate subjects."""
+        blob = self.to_bytes()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_bytes(self) -> bytes:
+        n_raw = self.n.to_bytes(self.byte_length, "big")
+        e_raw = self.e.to_bytes((self.e.bit_length() + 7) // 8, "big")
+        return (
+            len(n_raw).to_bytes(4, "big")
+            + n_raw
+            + len(e_raw).to_bytes(4, "big")
+            + e_raw
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RsaPublicKey":
+        try:
+            n_len = int.from_bytes(blob[:4], "big")
+            n = int.from_bytes(blob[4 : 4 + n_len], "big")
+            offset = 4 + n_len
+            e_len = int.from_bytes(blob[offset : offset + 4], "big")
+            e = int.from_bytes(blob[offset + 4 : offset + 4 + e_len], "big")
+            if offset + 4 + e_len != len(blob):
+                raise RsaError("trailing bytes in public key")
+        except (IndexError, OverflowError) as exc:
+            raise RsaError(f"malformed public key: {exc}") from exc
+        if n <= 0 or e <= 0:
+            raise RsaError("non-positive key components")
+        return cls(n=n, e=e)
+
+    # -- verification / encryption ------------------------------------------
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Check a signature produced by the matching private key."""
+        if len(signature) != self.byte_length:
+            return False
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        expected = int.from_bytes(_pad_digest(message, self.byte_length), "big")
+        return recovered == expected
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt a short secret (e.g. a session key) to this key."""
+        k = self.byte_length
+        limit = k - 11  # 3 fixed bytes + >= 8 random pad bytes
+        if len(plaintext) > limit:
+            raise RsaError(f"plaintext too long: {len(plaintext)} > {limit}")
+        pad_len = k - len(plaintext) - 3
+        padding = bytes(
+            secrets.randbelow(255) + 1 for _ in range(pad_len)
+        )  # nonzero pad bytes
+        block = b"\x00" + _ENC_MARKER + padding + b"\x00" + plaintext
+        m = int.from_bytes(block, "big")
+        return pow(m, self.e, self.n).to_bytes(k, "big")
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """A full RSA key: sign and decrypt.  Create with :meth:`generate`."""
+
+    n: int
+    e: int
+    d: int
+
+    @classmethod
+    def generate(cls, bits: int = DEFAULT_KEY_BITS) -> "RsaKeyPair":
+        if bits < 256:
+            raise RsaError(f"key too small: {bits} bits (minimum 256)")
+        while True:
+            p = generate_prime(bits // 2)
+            q = generate_prime(bits - bits // 2)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % _PUBLIC_EXPONENT == 0:
+                continue
+            d = modinv(_PUBLIC_EXPONENT, phi)
+            return cls(n=n, e=_PUBLIC_EXPONENT, d=d)
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign SHA-256(message) with deterministic padding."""
+        padded = _pad_digest(message, self.byte_length)
+        m = int.from_bytes(padded, "big")
+        return pow(m, self.d, self.n).to_bytes(self.byte_length, "big")
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Recover a secret encrypted to our public key."""
+        if len(ciphertext) != self.byte_length:
+            raise RsaError("ciphertext length mismatch")
+        c = int.from_bytes(ciphertext, "big")
+        if c >= self.n:
+            raise RsaError("ciphertext out of range")
+        block = pow(c, self.d, self.n).to_bytes(self.byte_length, "big")
+        if block[0:1] != b"\x00" or block[1:2] != _ENC_MARKER:
+            raise RsaError("decryption failed: bad padding header")
+        try:
+            separator = block.index(b"\x00", 2)
+        except ValueError:
+            raise RsaError("decryption failed: no padding terminator") from None
+        if separator < 10:  # fewer than 8 pad bytes
+            raise RsaError("decryption failed: short padding")
+        return block[separator + 1 :]
+
+
+def _pad_digest(message: bytes, k: int) -> bytes:
+    """PKCS#1 v1.5-style signature block: 00 01 FF..FF 00 || SHA-256."""
+    digest = hashlib.sha256(message).digest()
+    pad_len = k - len(digest) - 3
+    if pad_len < 8:
+        raise RsaError(f"key too small for SHA-256 signature: {k} bytes")
+    return b"\x00" + _SIG_MARKER + b"\xff" * pad_len + b"\x00" + digest

@@ -1,0 +1,164 @@
+"""Kerberos-style session tickets (the paper's named future work).
+
+The paper notes its per-request authentication "does not cover all the
+requirements and its replacement by a more efficient method has already
+been foreseen … a recognized authentication standard such as Kerberos,
+which requires a single authentication per session, with the access rights
+stored safely in a ticket and reused transparently".
+
+:class:`TicketService` implements that upgrade: a user authenticates once
+(password or signature), receives a lifetime-bounded :class:`Ticket`
+carrying their access rights, signed by the service; any proxy verifies
+the ticket offline with the service's public key.  Experiment E8 measures
+the resulting amortisation against per-request authentication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.security.auth import AuthenticationError, UserDirectory
+from repro.security.rsa import RsaKeyPair, RsaPublicKey
+from repro.transport.frames import decode_value, encode_value
+
+__all__ = ["Ticket", "TicketError", "TicketService"]
+
+_DEFAULT_LIFETIME = 8 * 3600.0  # one working session
+
+
+class TicketError(Exception):
+    """Invalid, expired or tampered ticket."""
+
+
+class Ticket:
+    """A signed, lifetime-bounded assertion of identity and rights."""
+
+    def __init__(
+        self,
+        userid: str,
+        rights: list[str],
+        issued_at: float,
+        expires_at: float,
+        issuer: str,
+        payload: bytes,
+        signature: bytes,
+    ):
+        self.userid = userid
+        self.rights = rights
+        self.issued_at = issued_at
+        self.expires_at = expires_at
+        self.issuer = issuer
+        self._payload = payload
+        self.signature = signature
+
+    def to_bytes(self) -> bytes:
+        return encode_value({"payload": self._payload, "signature": self.signature})
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Ticket":
+        try:
+            outer = decode_value(blob)
+            fields = decode_value(outer["payload"])
+            return cls(
+                userid=fields["userid"],
+                rights=list(fields["rights"]),
+                issued_at=fields["issued_at"],
+                expires_at=fields["expires_at"],
+                issuer=fields["issuer"],
+                payload=outer["payload"],
+                signature=outer["signature"],
+            )
+        except Exception as exc:
+            raise TicketError(f"malformed ticket: {exc}") from exc
+
+    def grants(self, right: str) -> bool:
+        return right in self.rights or "*" in self.rights
+
+
+class TicketService:
+    """Issues and verifies session tickets for the whole grid."""
+
+    def __init__(
+        self,
+        directory: UserDirectory,
+        clock: Callable[[], float],
+        name: str = "grid-tgs",
+        keypair: Optional[RsaKeyPair] = None,
+        key_bits: int = 1024,
+    ):
+        self.directory = directory
+        self.clock = clock
+        self.name = name
+        self.keypair = keypair or RsaKeyPair.generate(key_bits)
+        self.issued_count = 0
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self.keypair.public
+
+    def issue(
+        self,
+        userid: str,
+        password: str,
+        rights: list[str],
+        lifetime: float = _DEFAULT_LIFETIME,
+    ) -> Ticket:
+        """Authenticate once and mint a ticket for the session."""
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be positive: {lifetime}")
+        self.directory.authenticate_password(userid, password)  # may raise
+        now = self.clock()
+        payload = encode_value(
+            {
+                "userid": userid,
+                "rights": list(rights),
+                "issued_at": now,
+                "expires_at": now + lifetime,
+                "issuer": self.name,
+            }
+        )
+        self.issued_count += 1
+        return Ticket(
+            userid=userid,
+            rights=list(rights),
+            issued_at=now,
+            expires_at=now + lifetime,
+            issuer=self.name,
+            payload=payload,
+            signature=self.keypair.sign(payload),
+        )
+
+    def verify(self, ticket: Ticket, required_right: Optional[str] = None) -> None:
+        """Offline verification any proxy can perform."""
+        self.verify_with_key(ticket, self.public_key, self.clock(), required_right)
+
+    @staticmethod
+    def verify_with_key(
+        ticket: Ticket,
+        service_key: RsaPublicKey,
+        now: float,
+        required_right: Optional[str] = None,
+    ) -> None:
+        """Verify a ticket given only the service's public key and a clock."""
+        if not service_key.verify(ticket._payload, ticket.signature):
+            raise TicketError(f"ticket signature invalid (user {ticket.userid!r})")
+        if now > ticket.expires_at:
+            raise TicketError(f"ticket expired (user {ticket.userid!r})")
+        if now < ticket.issued_at - 60.0:
+            raise TicketError("ticket issued in the future")
+        if required_right is not None and not ticket.grants(required_right):
+            raise TicketError(
+                f"ticket for {ticket.userid!r} lacks right {required_right!r}"
+            )
+
+
+def per_request_auth_cost(
+    directory: UserDirectory, userid: str, password: str, requests: int
+) -> int:
+    """Reference helper for E8: authenticate every request individually.
+
+    Returns the number of password verifications performed (== requests).
+    """
+    for _ in range(requests):
+        directory.authenticate_password(userid, password)
+    return requests

@@ -1,0 +1,451 @@
+"""Generator-based discrete-event simulation kernel.
+
+The engine follows the classic process-interaction style: simulation
+processes are Python generators that ``yield`` *events* (timeouts, other
+processes, queue operations).  The :class:`Simulator` owns a priority queue
+of scheduled events and advances virtual time from one event to the next, so
+a run over hours of simulated traffic completes in milliseconds of wall time
+and is fully deterministic for a fixed seed.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 2.0))
+>>> _ = sim.spawn(worker(sim, "b", 1.0))
+>>> sim.run()
+2.0
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "Process",
+    "Queue",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (running a finished simulator, etc.)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` which the interrupted
+    process can inspect, e.g. a failure-injection record.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once with a value
+    (:meth:`succeed`) or an exception (:meth:`fail`).  Processes that yield a
+    pending event are resumed when it triggers.
+    """
+
+    __slots__ = ("sim", "_value", "_exception", "_triggered", "_waiters", "callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._waiters: list["Process"] = []
+        #: plain callables invoked with the event when it triggers
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when the event triggered successfully."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_trigger(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in each waiter."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule_trigger(self)
+        return self
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._triggered:
+            # Late subscriber: resume on the next kernel step.
+            self.sim._schedule_resume(process, self)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """Event that triggers after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)  # dispatcher triggers it at fire time
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event: it triggers when the generator returns
+    (value = the ``return`` value) or raises (exception propagated to
+    waiters).  Use :meth:`interrupt` to inject an :class:`Interrupt` into
+    the process at its current wait point.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {type(generator)!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        sim._schedule_resume(self, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self._alive:
+            return
+        target = self._waiting_on
+        if target is not None and self in target._waiters:
+            target._waiters.remove(self)
+        self._waiting_on = None
+        self.sim._schedule_throw(self, Interrupt(cause))
+
+    # -- kernel steps ----------------------------------------------------
+
+    def _step(self, trigger: Optional[Event]) -> None:
+        self._waiting_on = None
+        try:
+            if trigger is None:
+                yielded = self.generator.send(None)
+            elif trigger._exception is not None:
+                yielded = self.generator.throw(trigger._exception)
+            else:
+                yielded = self.generator.send(trigger._value)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except BaseException as exc:  # generator died
+            self._finish(exception=exc)
+            return
+        self._wait_on(yielded)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            yielded = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except BaseException as err:
+            self._finish(exception=err)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if not isinstance(yielded, Event):
+            self._finish(
+                exception=SimulationError(
+                    f"process {self.name!r} yielded non-event {yielded!r}"
+                )
+            )
+            return
+        if yielded.sim is not self.sim:
+            self._finish(
+                exception=SimulationError(
+                    f"process {self.name!r} yielded event from another simulator"
+                )
+            )
+            return
+        self._waiting_on = yielded
+        yielded._add_waiter(self)
+
+    def _finish(self, value: Any = None, exception: Optional[BaseException] = None) -> None:
+        self._alive = False
+        if self._triggered:
+            return
+        self._triggered = True
+        if exception is not None:
+            self._exception = exception
+            if not self._waiters and not self.callbacks:
+                # Nobody is listening: surface the crash instead of
+                # swallowing it silently.
+                raise exception
+        else:
+            self._value = value
+        self.sim._schedule_trigger(self)
+
+
+class AnyOf(Event):
+    """Composite event triggering when the first of its children triggers."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf needs at least one event")
+        for event in self.events:
+            if event._triggered:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((event, event._value))
+
+
+class AllOf(Event):
+    """Composite event triggering when all of its children have triggered."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if not event._triggered:
+                self._remaining += 1
+                event.callbacks.append(self._on_child)
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class Queue:
+    """Unbounded FIFO queue for inter-process messaging.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    next item (immediately when one is buffered).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter._triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Simulator:
+    """The discrete-event kernel: virtual clock plus scheduled-event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._throws: list[tuple[float, int, Process, BaseException]] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- public construction helpers -------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Create a process from a generator and schedule its first step."""
+        return Process(self, generator, name=name)
+
+    def queue(self, name: str = "queue") -> Queue:
+        return Queue(self, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling internals ---------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        heapq.heappush(self._heap, (when, next(self._sequence), event))
+
+    def _schedule_trigger(self, event: Event) -> None:
+        self._schedule_at(self._now, event)
+
+    def _schedule_resume(self, process: Process, trigger: Optional[Event]) -> None:
+        marker = _Resume(self, process, trigger)
+        self._schedule_at(self._now, marker)
+
+    def _schedule_throw(self, process: Process, exc: BaseException) -> None:
+        marker = _Throw(self, process, exc)
+        self._schedule_at(self._now, marker)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or simulated time passes ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, event = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                self._dispatch(event)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _dispatch(self, event: Event) -> None:
+        if isinstance(event, _Resume):
+            process = event.process
+            if process._alive:
+                process._step(event.trigger)
+            return
+        if isinstance(event, _Throw):
+            process = event.process
+            if process._alive:
+                process._throw(event.exception)
+            return
+        # A real event fired: notify waiters and callbacks.
+        event._triggered = True  # no-op for events triggered via succeed/fail
+        waiters, event._waiters = event._waiters, []
+        for process in waiters:
+            if process._alive:
+                self._schedule_resume(process, event)
+        callbacks, event.callbacks = list(event.callbacks), []
+        for callback in callbacks:
+            callback(event)
+
+
+class _Resume(Event):
+    """Internal marker scheduling a process continuation."""
+
+    __slots__ = ("process", "trigger")
+
+    def __init__(self, sim: Simulator, process: Process, trigger: Optional[Event]):
+        # Bypass Event.__init__ bookkeeping: markers are never waited on.
+        self.sim = sim
+        self.process = process
+        self.trigger = trigger
+        self._value = None
+        self._exception = None
+        self._triggered = True
+        self._waiters = []
+        self.callbacks = []
+
+
+class _Throw(Event):
+    """Internal marker scheduling an exception injection."""
+
+    __slots__ = ("process", "exception")
+
+    def __init__(self, sim: Simulator, process: Process, exception: BaseException):
+        self.sim = sim
+        self.process = process
+        self.exception = exception
+        self._value = None
+        self._exception = None
+        self._triggered = True
+        self._waiters = []
+        self.callbacks = []

@@ -1,0 +1,186 @@
+"""Measurement primitives shared by all experiments.
+
+Every benchmark in :mod:`benchmarks` reports through a
+:class:`MetricsRegistry` so the harness can print uniform tables of the
+series the paper's claims are tested against (bytes on the WAN, crypto
+operations, makespan, recovery time, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "TimeSeries"]
+
+
+class Counter:
+    """Monotonic counter (events, bytes, operations)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram: keeps every observation for exact quantiles.
+
+    Experiment populations are small enough (≤ millions of samples) that
+    exact quantiles are affordable and simpler than sketches.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self._samples) / (n - 1))
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile by linear interpolation, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        idx = q * (len(self._samples) - 1)
+        lo = int(math.floor(idx))
+        hi = int(math.ceil(idx))
+        if lo == hi:
+            return self._samples[lo]
+        frac = idx - lo
+        return self._samples[lo] * (1 - frac) + self._samples[hi] * frac
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. utilisation or queue depth over a run."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(f"time went backwards in series {self.name!r}")
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def last(self) -> Optional[tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def time_weighted_mean(self) -> float:
+        """Average of the series weighted by how long each value held."""
+        if len(self.points) < 2:
+            return self.points[0][1] if self.points else 0.0
+        area = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            area += v0 * (t1 - t0)
+        span = self.points[-1][0] - self.points[0][0]
+        return area / span if span > 0 else self.points[-1][1]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+
+@dataclass
+class MetricsRegistry:
+    """Namespace of metrics for one experiment run."""
+
+    name: str = "metrics"
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat dict of every metric, for report printing."""
+        out: dict[str, Any] = {}
+        for name, counter in sorted(self.counters.items()):
+            out[name] = counter.value
+        for name, histogram in sorted(self.histograms.items()):
+            for key, value in histogram.summary().items():
+                out[f"{name}.{key}"] = value
+        for name, series in sorted(self.series.items()):
+            out[f"{name}.twmean"] = series.time_weighted_mean()
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+        self.series.clear()

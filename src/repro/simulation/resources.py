@@ -1,0 +1,268 @@
+"""Node resource models: CPU, RAM, disk and owner-priority scheduling.
+
+The paper lists among its requirements that "the priority of the resource's
+utilization [belongs to] the user of the machine and not [to] third party
+applications": grid work on a workstation must yield to the owner's own
+activity.  :class:`NodeResources` models a single node with a CPU of a given
+speed whose capacity is time-shared between the owner's foreground activity
+(which always wins) and grid jobs (which absorb only the leftover cycles).
+
+The model is analytic rather than instruction-level: a grid task of ``work``
+CPU-seconds on an idle node of speed ``s`` takes ``work / s`` simulated
+seconds; when the owner consumes a duty-cycle fraction ``d``, the grid task
+slows to ``work / (s * (1 - d))``.  That is exactly the first-order effect
+the paper's requirement is about, and it is what experiment E12 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.randomness import RandomStream
+
+__all__ = ["NodeResources", "OwnerActivity", "ResourceSnapshot"]
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """Point-in-time availability of a station, as the Grid API reports it.
+
+    Mirrors the paper's Grid API layer, which "contains grid manipulation
+    functions, returning, for instance, the state of a station (availability
+    of RAM memory, CPU and HD)".
+    """
+
+    node: str
+    time: float
+    cpu_speed: float  # relative speed units (1.0 = reference node)
+    cpu_available: float  # fraction of CPU free for grid work, 0..1
+    ram_total: int  # bytes
+    ram_available: int  # bytes
+    disk_total: int  # bytes
+    disk_available: int  # bytes
+    running_jobs: int
+
+    @property
+    def effective_speed(self) -> float:
+        """Speed a new grid job would see right now."""
+        return self.cpu_speed * self.cpu_available
+
+
+class OwnerActivity:
+    """Stochastic foreground load from the machine's owner.
+
+    Alternates between idle and busy periods with exponential durations.
+    During busy periods the owner consumes ``busy_fraction`` of the CPU,
+    which grid jobs must not touch.
+    """
+
+    def __init__(
+        self,
+        rng: RandomStream,
+        mean_idle: float = 300.0,
+        mean_busy: float = 60.0,
+        busy_fraction: float = 0.8,
+    ):
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError(f"busy fraction out of range: {busy_fraction}")
+        self.rng = rng
+        self.mean_idle = mean_idle
+        self.mean_busy = mean_busy
+        self.busy_fraction = busy_fraction
+
+    def duty_cycle(self) -> float:
+        """Long-run fraction of time the owner is busy."""
+        total = self.mean_idle + self.mean_busy
+        return self.mean_busy / total if total > 0 else 0.0
+
+    def run(self, node: "NodeResources") -> Generator:
+        """Simulation process toggling the node's owner load forever."""
+        sim = node.sim
+        while True:
+            yield sim.timeout(self.rng.exponential(self.mean_idle))
+            node.set_owner_load(self.busy_fraction)
+            yield sim.timeout(self.rng.exponential(self.mean_busy))
+            node.set_owner_load(0.0)
+
+
+class NodeResources:
+    """CPU/RAM/disk of one grid node, with owner-priority time sharing.
+
+    Grid jobs execute through :meth:`execute`, a generator that completes
+    after the job's CPU work has been absorbed at whatever rate the owner
+    leaves available.  Changing the owner load mid-job re-times every
+    running job, implementing strict owner priority.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_speed: float = 1.0,
+        ram_total: int = 1 << 30,
+        disk_total: int = 40 << 30,
+    ):
+        if cpu_speed <= 0:
+            raise ValueError(f"cpu speed must be positive: {cpu_speed}")
+        self.sim = sim
+        self.name = name
+        self.cpu_speed = cpu_speed
+        self.ram_total = ram_total
+        self.disk_total = disk_total
+        self.ram_used = 0
+        self.disk_used = 0
+        self.owner_load = 0.0
+        self._jobs: dict[int, _RunningJob] = {}
+        self._job_ids = 0
+        self.jobs_completed = 0
+
+    # -- owner priority ------------------------------------------------------
+
+    def set_owner_load(self, fraction: float) -> None:
+        """Set the owner's CPU share; re-times all running grid jobs."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"owner load out of range: {fraction}")
+        self._absorb_progress()
+        self.owner_load = fraction
+        self._retime_jobs()
+
+    def grid_rate(self) -> float:
+        """CPU-work units per second available to grid jobs *in total*.
+
+        Running jobs share this rate equally (processor sharing).
+        """
+        return self.cpu_speed * (1.0 - self.owner_load)
+
+    def _per_job_rate(self) -> float:
+        n = len(self._jobs)
+        if n == 0:
+            return self.grid_rate()
+        return self.grid_rate() / n
+
+    def _absorb_progress(self) -> None:
+        """Credit each running job with work done since its last update."""
+        now = self.sim.now
+        rate = self._per_job_rate()
+        for job in self._jobs.values():
+            elapsed = now - job.last_update
+            job.remaining = max(0.0, job.remaining - elapsed * rate)
+            job.last_update = now
+
+    def _retime_jobs(self) -> None:
+        """Reschedule every job's completion for the new sharing rate."""
+        rate = self._per_job_rate()
+        for job in self._jobs.values():
+            job.generation += 1
+            if rate <= 0:
+                continue  # stalled until owner releases the CPU
+            self._schedule_completion(job, job.remaining / rate)
+
+    def _schedule_completion(self, job: "_RunningJob", delay: float) -> None:
+        generation = job.generation
+        timer = self.sim.timeout(delay)
+
+        def fire(_event: Event) -> None:
+            if job.job_id in self._jobs and job.generation == generation:
+                self._absorb_progress()
+                self._complete(job)
+
+        timer.callbacks.append(fire)
+
+    def _complete(self, job: "_RunningJob") -> None:
+        del self._jobs[job.job_id]
+        self.ram_used -= job.ram
+        self.jobs_completed += 1
+        job.done.succeed(self.sim.now - job.started_at)
+        # Remaining jobs now get a larger share.
+        self._absorb_progress()
+        self._retime_jobs()
+
+    # -- job execution ---------------------------------------------------------
+
+    def submit(self, cpu_work: float, ram: int = 0) -> Event:
+        """Start a grid job; returns an event triggering with its runtime.
+
+        ``cpu_work`` is in CPU-seconds on a reference (speed 1.0) node.
+        """
+        if cpu_work < 0:
+            raise ValueError(f"negative cpu work: {cpu_work}")
+        if ram < 0:
+            raise ValueError(f"negative ram: {ram}")
+        if self.ram_used + ram > self.ram_total:
+            raise MemoryError(
+                f"node {self.name!r}: {ram} B requested, "
+                f"{self.ram_total - self.ram_used} B free"
+            )
+        self._absorb_progress()
+        self._job_ids += 1
+        job = _RunningJob(
+            job_id=self._job_ids,
+            remaining=cpu_work,
+            ram=ram,
+            started_at=self.sim.now,
+            last_update=self.sim.now,
+            done=self.sim.event(),
+        )
+        self.ram_used += ram
+        self._jobs[job.job_id] = job
+        self._retime_jobs()
+        if cpu_work == 0:
+            # _retime_jobs scheduled an immediate completion; nothing else to do.
+            pass
+        return job.done
+
+    def execute(self, cpu_work: float, ram: int = 0) -> Generator:
+        """Generator form of :meth:`submit` for use inside processes."""
+        runtime = yield self.submit(cpu_work, ram=ram)
+        return runtime
+
+    # -- storage ---------------------------------------------------------------
+
+    def allocate_disk(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if self.disk_used + nbytes > self.disk_total:
+            raise OSError(
+                f"node {self.name!r}: disk full "
+                f"({self.disk_total - self.disk_used} B free)"
+            )
+        self.disk_used += nbytes
+
+    def release_disk(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.disk_used:
+            raise ValueError(f"invalid release: {nbytes}")
+        self.disk_used -= nbytes
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def running_jobs(self) -> int:
+        return len(self._jobs)
+
+    def snapshot(self) -> ResourceSnapshot:
+        """The station state that the Grid API layer reports."""
+        return ResourceSnapshot(
+            node=self.name,
+            time=self.sim.now,
+            cpu_speed=self.cpu_speed,
+            cpu_available=max(0.0, 1.0 - self.owner_load)
+            / (len(self._jobs) + 1),
+            ram_total=self.ram_total,
+            ram_available=self.ram_total - self.ram_used,
+            disk_total=self.disk_total,
+            disk_available=self.disk_total - self.disk_used,
+            running_jobs=len(self._jobs),
+        )
+
+
+@dataclass
+class _RunningJob:
+    job_id: int
+    remaining: float
+    ram: int
+    started_at: float
+    last_update: float
+    done: Event
+    generation: int = 0

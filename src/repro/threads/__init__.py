@@ -1,0 +1,12 @@
+"""Distributed thread support (paper future work).
+
+The paper lists "distributed thread support" among the work its
+architecture is meant to host.  :mod:`repro.threads.remote` provides it:
+thread-like handles whose bodies execute on grid nodes — possibly at
+other sites — through the same authenticated proxy job path as ordinary
+submissions.
+"""
+
+from repro.threads.remote import GridExecutor, GridThread, GridThreadError
+
+__all__ = ["GridExecutor", "GridThread", "GridThreadError"]

@@ -1,0 +1,71 @@
+"""Layer 1 — Communication.
+
+The paper's layer 1 "contains the resources that control and enable
+communication between the sites that make up the grid", with separate
+channels for data traffic and control.  This package provides:
+
+:mod:`repro.transport.frames`
+    The wire format: a self-contained binary codec (no pickle — remote
+    frames are untrusted input) and length-delimited frames with distinct
+    CONTROL and DATA classes.
+:mod:`repro.transport.channel`
+    The abstract channel/listener interfaces every transport implements.
+:mod:`repro.transport.inproc`
+    In-process transport: thread-safe channel pairs and a named fabric,
+    used by unit/integration tests and the single-process runtime.
+:mod:`repro.transport.tcp`
+    Real TCP transport over localhost sockets, demonstrating that the
+    middleware runs on an actual network stack.
+:mod:`repro.transport.udp`
+    Reliable frames over real UDP datagrams (ARQ with cumulative ACKs
+    and retransmission) — the paper's layer diagram names UDP alongside
+    TCP as a base protocol.
+:mod:`repro.transport.errors`
+    The transport exception hierarchy.
+"""
+
+from repro.transport.channel import Channel, Listener
+from repro.transport.errors import (
+    ChannelClosed,
+    CodecError,
+    FrameError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.transport.frames import (
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+from repro.transport.inproc import InprocChannel, InprocFabric, channel_pair
+from repro.transport.tcp import TcpChannel, TcpListener, connect_tcp
+from repro.transport.udp import UdpChannel, udp_pair
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "CodecError",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameKind",
+    "InprocChannel",
+    "InprocFabric",
+    "Listener",
+    "TcpChannel",
+    "TcpListener",
+    "TransportError",
+    "TransportTimeout",
+    "UdpChannel",
+    "channel_pair",
+    "connect_tcp",
+    "udp_pair",
+    "decode_frame",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+]

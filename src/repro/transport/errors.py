@@ -1,0 +1,38 @@
+"""Transport exception hierarchy.
+
+Every transport failure derives from :class:`TransportError` so middleware
+layers can catch one type at site boundaries; the subtypes distinguish the
+conditions the proxy reacts to differently (a closed channel triggers
+reconnection/failover, a codec error means a corrupt or hostile peer and the
+frame is discarded).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChannelClosed",
+    "CodecError",
+    "FrameError",
+    "TransportError",
+    "TransportTimeout",
+]
+
+
+class TransportError(Exception):
+    """Base class for all transport-layer failures."""
+
+
+class ChannelClosed(TransportError):
+    """The peer closed the channel or it was closed locally."""
+
+
+class TransportTimeout(TransportError):
+    """A blocking receive exceeded its deadline."""
+
+
+class CodecError(TransportError):
+    """A value could not be encoded or decoded (corrupt/hostile input)."""
+
+
+class FrameError(TransportError):
+    """A frame violated the wire format (bad magic, length, or kind)."""

@@ -1,0 +1,355 @@
+"""Wire format: value codec and length-delimited frames.
+
+Two pieces live here:
+
+* **gridcodec** — a small self-describing binary codec for the value types
+  the middleware exchanges (None, bool, int, float, str, bytes, list,
+  tuple, dict).  Frames arriving from remote sites are untrusted input, so
+  pickle is deliberately not used; the codec can only construct plain data.
+* **frames** — the unit of traffic between middleware endpoints.  A frame
+  has a *kind* (the paper separates control and data channels), a *channel
+  id* for multiplexing several logical streams over one connection (the
+  proxy multiplexes every MPI slave through one tunnel), a header dict and
+  a binary payload.
+
+Wire layout of a frame (network byte order)::
+
+    magic    2 bytes   0x47 0x58  ("GX")
+    version  1 byte    0x01
+    kind     1 byte    FrameKind
+    channel  4 bytes   unsigned
+    hlen     4 bytes   header blob length
+    plen     4 bytes   payload length
+    header   hlen bytes (gridcodec-encoded dict)
+    payload  plen bytes (opaque)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.transport.errors import CodecError, FrameError
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "FrameKind",
+    "MAX_FRAME_PAYLOAD",
+    "decode_frame",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+]
+
+_MAGIC = b"GX"
+_VERSION = 1
+_HEADER_STRUCT = struct.Struct("!2sBBIII")
+
+#: Upper bound on a single frame payload; larger transfers are chunked by
+#: the data-channel layer.  Guards against hostile length fields.
+MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
+_MAX_HEADER = 1 * 1024 * 1024
+_MAX_DEPTH = 32
+_MAX_CONTAINER = 1_000_000
+
+
+class FrameKind(enum.IntEnum):
+    """Traffic classes; the paper's architecture separates control and data."""
+
+    CONTROL = 1  # inter-proxy control protocol
+    DATA = 2  # application traffic (tunneled site-to-site)
+    HANDSHAKE = 3  # security-layer handshake records
+    HEARTBEAT = 4  # failure-detector probes
+    MPI = 5  # multiplexed MPI traffic through virtual slaves
+
+
+# ---------------------------------------------------------------------------
+# gridcodec: self-describing value encoding
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+_T_TUPLE = 0x09
+
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a plain value to bytes.  Raises CodecError on foreign types."""
+    out = bytearray()
+    _encode_into(value, out, depth=0)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {_MAX_DEPTH}")
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        # Ints are unbounded (RSA material travels in handshakes).
+        out.append(_T_INT)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_T_BYTES)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError(f"container too large: {len(value)}")
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out, depth + 1)
+    elif isinstance(value, dict):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError(f"container too large: {len(value)}")
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_into(key, out, depth + 1)
+            _encode_into(item, out, depth + 1)
+    else:
+        raise CodecError(f"cannot encode type {type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_value`.
+
+    Rejects trailing garbage: a frame header must be exactly one value.
+    """
+    value, offset = _decode_from(data, 0, depth=0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"value nesting exceeds {_MAX_DEPTH}")
+    if offset >= len(data):
+        raise CodecError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_FLOAT:
+        end = offset + _F64.size
+        _check_bounds(data, end)
+        return _F64.unpack_from(data, offset)[0], end
+    if tag == _T_INT:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        _check_bounds(data, end)
+        return int.from_bytes(data[offset:end], "big", signed=True), end
+    if tag == _T_STR:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        _check_bounds(data, end)
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid utf-8 in string: {exc}") from exc
+    if tag == _T_BYTES:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        _check_bounds(data, end)
+        return data[offset:end], end
+    if tag in (_T_LIST, _T_TUPLE):
+        count, offset = _read_length(data, offset)
+        if count > _MAX_CONTAINER:
+            raise CodecError(f"container too large: {count}")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset, depth + 1)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), offset
+    if tag == _T_DICT:
+        count, offset = _read_length(data, offset)
+        if count > _MAX_CONTAINER:
+            raise CodecError(f"container too large: {count}")
+        result: dict[str, Any] = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset, depth + 1)
+            if not isinstance(key, str):
+                raise CodecError("dict key is not a string")
+            value, offset = _decode_from(data, offset, depth + 1)
+            result[key] = value
+        return result, offset
+    raise CodecError(f"unknown type tag 0x{tag:02x}")
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    end = offset + _U32.size
+    _check_bounds(data, end)
+    return _U32.unpack_from(data, offset)[0], end
+
+
+def _check_bounds(data: bytes, end: int) -> None:
+    if end > len(data):
+        raise CodecError("truncated value")
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Frame:
+    """One unit of middleware traffic."""
+
+    kind: FrameKind
+    channel: int = 0
+    headers: dict[str, Any] = field(default_factory=dict)
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.kind = FrameKind(self.kind)
+        if not 0 <= self.channel <= 0xFFFFFFFF:
+            raise FrameError(f"channel id out of range: {self.channel}")
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise FrameError(
+                f"payload must be bytes, got {type(self.payload).__name__}"
+            )
+        self.payload = bytes(self.payload)
+
+    def wire_size(self) -> int:
+        """Bytes this frame occupies on the wire."""
+        return len(encode_frame(self))
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise a frame to its wire representation."""
+    header_blob = encode_value(frame.headers)
+    if len(header_blob) > _MAX_HEADER:
+        raise FrameError(f"header blob too large: {len(header_blob)}")
+    if len(frame.payload) > MAX_FRAME_PAYLOAD:
+        raise FrameError(f"payload too large: {len(frame.payload)}")
+    prefix = _HEADER_STRUCT.pack(
+        _MAGIC,
+        _VERSION,
+        int(frame.kind),
+        frame.channel,
+        len(header_blob),
+        len(frame.payload),
+    )
+    return prefix + header_blob + frame.payload
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame; rejects trailing bytes."""
+    frame, consumed = _decode_frame_prefix(data)
+    if frame is None:
+        raise FrameError("truncated frame")
+    if consumed != len(data):
+        raise FrameError(f"{len(data) - consumed} trailing bytes after frame")
+    return frame
+
+
+def _decode_frame_prefix(data: bytes) -> tuple[Optional[Frame], int]:
+    """Try to decode a frame from the start of ``data``.
+
+    Returns (frame, bytes_consumed) or (None, 0) when more bytes are needed.
+    """
+    if len(data) < _HEADER_STRUCT.size:
+        return None, 0
+    magic, version, kind_raw, channel, hlen, plen = _HEADER_STRUCT.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise FrameError(f"bad magic: {magic!r}")
+    if version != _VERSION:
+        raise FrameError(f"unsupported version: {version}")
+    if hlen > _MAX_HEADER:
+        raise FrameError(f"header length too large: {hlen}")
+    if plen > MAX_FRAME_PAYLOAD:
+        raise FrameError(f"payload length too large: {plen}")
+    try:
+        kind = FrameKind(kind_raw)
+    except ValueError as exc:
+        raise FrameError(f"unknown frame kind: {kind_raw}") from exc
+    total = _HEADER_STRUCT.size + hlen + plen
+    if len(data) < total:
+        return None, 0
+    header_blob = data[_HEADER_STRUCT.size : _HEADER_STRUCT.size + hlen]
+    payload = data[_HEADER_STRUCT.size + hlen : total]
+    headers = decode_value(header_blob)
+    if not isinstance(headers, dict):
+        raise FrameError("frame headers are not a dict")
+    return Frame(kind=kind, channel=channel, headers=headers, payload=payload), total
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream (TCP reassembly).
+
+    Feed arbitrary chunks with :meth:`feed`; iterate complete frames off
+    the decoder.  Corrupt input raises :class:`FrameError` and poisons the
+    decoder (a stream with a framing error cannot be resynchronised).
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, chunk: bytes) -> None:
+        if self._poisoned:
+            raise FrameError("decoder poisoned by earlier framing error")
+        self._buffer += chunk
+
+    def __iter__(self) -> Iterator[Frame]:
+        return self
+
+    def __next__(self) -> Frame:
+        frame = self.next_frame()
+        if frame is None:
+            raise StopIteration
+        return frame
+
+    def next_frame(self) -> Optional[Frame]:
+        """Pop one complete frame, or None when more bytes are needed."""
+        if self._poisoned:
+            raise FrameError("decoder poisoned by earlier framing error")
+        try:
+            frame, consumed = _decode_frame_prefix(bytes(self._buffer))
+        except FrameError:
+            self._poisoned = True
+            raise
+        if frame is None:
+            return None
+        del self._buffer[:consumed]
+        return frame
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

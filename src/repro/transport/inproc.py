@@ -1,0 +1,152 @@
+"""In-process transport: thread-safe channel pairs and a named fabric.
+
+The single-process runtime (examples, integration tests, MPI ranks as
+threads) uses these channels.  Semantics match TCP: ordered, reliable,
+close propagates to the peer, receive drains buffered frames before
+reporting closure.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional
+
+from repro.transport.channel import Channel, Listener
+from repro.transport.errors import ChannelClosed, TransportTimeout
+from repro.transport.frames import Frame, encode_frame
+
+__all__ = ["InprocChannel", "InprocFabric", "InprocListener", "channel_pair"]
+
+#: Sentinel placed in the queue when the peer closes.
+_EOF = object()
+
+
+class InprocChannel(Channel):
+    """One endpoint of an in-process channel pair."""
+
+    def __init__(self, name: str = "inproc"):
+        super().__init__(name=name)
+        self._incoming: "queue.Queue" = queue.Queue()
+        self._peer: Optional["InprocChannel"] = None
+        self._closed = threading.Event()
+        #: count wire bytes as the encoded frame size so in-proc and TCP
+        #: report comparable traffic volumes
+        self._measure_wire = True
+
+    def _bind(self, peer: "InprocChannel") -> None:
+        self._peer = peer
+
+    def send(self, frame: Frame) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed(f"{self.name}: send on closed channel")
+        peer = self._peer
+        if peer is None:
+            raise ChannelClosed(f"{self.name}: channel is unbound")
+        if peer._closed.is_set():
+            raise ChannelClosed(f"{self.name}: peer has closed")
+        nbytes = len(encode_frame(frame)) if self._measure_wire else len(frame.payload)
+        self.stats.on_send(nbytes)
+        peer._incoming.put(frame)
+
+    def recv(self, timeout: Optional[float] = None) -> Frame:
+        try:
+            item = self._incoming.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportTimeout(f"{self.name}: recv timed out") from None
+        if item is _EOF:
+            # Keep the sentinel visible for subsequent recv calls.
+            self._incoming.put(_EOF)
+            raise ChannelClosed(f"{self.name}: peer closed")
+        nbytes = len(encode_frame(item)) if self._measure_wire else len(item.payload)
+        self.stats.on_receive(nbytes)
+        return item
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        peer = self._peer
+        if peer is not None:
+            peer._incoming.put(_EOF)
+        self._incoming.put(_EOF)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+def channel_pair(name: str = "pair") -> tuple[InprocChannel, InprocChannel]:
+    """Create a connected channel pair (like socketpair)."""
+    a = InprocChannel(name=f"{name}.a")
+    b = InprocChannel(name=f"{name}.b")
+    a._bind(b)
+    b._bind(a)
+    return a, b
+
+
+class InprocListener(Listener):
+    """Accept side of a named in-process endpoint."""
+
+    def __init__(self, fabric: "InprocFabric", address: str):
+        self._fabric = fabric
+        self.address = address
+        self._pending: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        if self._closed.is_set():
+            raise ChannelClosed(f"listener {self.address!r} is closed")
+        try:
+            item = self._pending.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportTimeout(f"accept timed out on {self.address!r}") from None
+        if item is _EOF:
+            self._pending.put(_EOF)
+            raise ChannelClosed(f"listener {self.address!r} is closed")
+        return item
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._fabric._unregister(self.address)
+        self._pending.put(_EOF)
+
+
+class InprocFabric:
+    """Registry of named in-process endpoints (the "network" of one process).
+
+    Proxies bind listeners at string addresses ("siteA.proxy.control");
+    clients connect by address and get back a channel whose peer is handed
+    to the listener's accept loop.
+    """
+
+    def __init__(self):
+        self._listeners: dict[str, InprocListener] = {}
+        self._lock = threading.Lock()
+
+    def listen(self, address: str) -> InprocListener:
+        with self._lock:
+            if address in self._listeners:
+                raise ValueError(f"address already bound: {address!r}")
+            listener = InprocListener(self, address)
+            self._listeners[address] = listener
+            return listener
+
+    def connect(self, address: str, name: str = "") -> InprocChannel:
+        with self._lock:
+            listener = self._listeners.get(address)
+        if listener is None or listener._closed.is_set():
+            raise ChannelClosed(f"no listener at {address!r}")
+        client, server = channel_pair(name=name or f"conn:{address}")
+        listener._pending.put(server)
+        return client
+
+    def addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(self._listeners)
+
+    def _unregister(self, address: str) -> None:
+        with self._lock:
+            self._listeners.pop(address, None)

@@ -1,0 +1,143 @@
+"""Real TCP transport over localhost sockets.
+
+Demonstrates that the middleware's frame protocol runs on an actual network
+stack: a :class:`TcpListener` accepts connections and wraps each socket in
+a :class:`TcpChannel` with a background reader thread feeding a
+:class:`~repro.transport.frames.FrameDecoder`.
+
+The grid examples and integration tests bind to 127.0.0.1 with ephemeral
+ports; nothing here assumes a particular address family beyond IPv4.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional
+
+from repro.transport.channel import Channel, Listener
+from repro.transport.errors import ChannelClosed, FrameError, TransportTimeout
+from repro.transport.frames import Frame, FrameDecoder, encode_frame
+
+__all__ = ["TcpChannel", "TcpListener", "connect_tcp"]
+
+_RECV_CHUNK = 64 * 1024
+_EOF = object()
+
+
+class TcpChannel(Channel):
+    """A frame channel over one TCP connection."""
+
+    def __init__(self, sock: socket.socket, name: str = "tcp"):
+        super().__init__(name=name)
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._frames: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True, name=f"{name}-reader"
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = self._sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    break
+                decoder.feed(chunk)
+                while True:
+                    frame = decoder.next_frame()
+                    if frame is None:
+                        break
+                    self._frames.put(frame)
+        except FrameError as exc:
+            self._frames.put(exc)
+        except OSError:
+            pass  # socket closed under us
+        finally:
+            self._frames.put(_EOF)
+
+    def send(self, frame: Frame) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed(f"{self.name}: send on closed channel")
+        blob = encode_frame(frame)
+        try:
+            with self._send_lock:
+                self._sock.sendall(blob)
+        except OSError as exc:
+            self.close()
+            raise ChannelClosed(f"{self.name}: peer gone ({exc})") from exc
+        self.stats.on_send(len(blob))
+
+    def recv(self, timeout: Optional[float] = None) -> Frame:
+        try:
+            item = self._frames.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportTimeout(f"{self.name}: recv timed out") from None
+        if item is _EOF:
+            self._frames.put(_EOF)
+            raise ChannelClosed(f"{self.name}: connection closed")
+        if isinstance(item, FrameError):
+            self._frames.put(_EOF)
+            raise item
+        self.stats.on_receive(len(encode_frame(item)))
+        return item
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class TcpListener(Listener):
+    """Listening socket producing :class:`TcpChannel` per connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 64):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._closed = threading.Event()
+        self.host, self.port = self._sock.getsockname()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def accept(self, timeout: Optional[float] = None) -> TcpChannel:
+        if self._closed.is_set():
+            raise ChannelClosed("listener is closed")
+        self._sock.settimeout(timeout)
+        try:
+            conn, peer = self._sock.accept()
+        except socket.timeout:
+            raise TransportTimeout("accept timed out") from None
+        except OSError as exc:
+            raise ChannelClosed(f"listener closed ({exc})") from exc
+        return TcpChannel(conn, name=f"tcp:{peer[0]}:{peer[1]}")
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._sock.close()
+
+
+def connect_tcp(host: str, port: int, timeout: float = 10.0) -> TcpChannel:
+    """Dial a TcpListener and return the client channel."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return TcpChannel(sock, name=f"tcp->{host}:{port}")

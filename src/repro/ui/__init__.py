@@ -1,0 +1,16 @@
+"""User access interfaces.
+
+The paper's top layer "provides the user with an access interface through
+which he/she interacts directly or indirectly with the Grid's functions.
+In addition to the command line, the user will have a Web page at his/her
+disposal."
+
+* :mod:`repro.ui.cli` — the ``proxigrid`` command line (demo grid,
+  status, job submission, MPI demo);
+* :mod:`repro.ui.web` — a small stdlib HTTP server rendering grid
+  status pages and JSON endpoints from the Grid API.
+"""
+
+from repro.ui.web import GridWebServer
+
+__all__ = ["GridWebServer"]

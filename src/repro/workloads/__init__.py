@@ -1,0 +1,30 @@
+"""Synthetic workload generation for tests and benchmarks.
+
+The paper evaluated on live applications; the reproduction drives the
+same code paths with seeded synthetic workloads so every experiment is
+deterministic and parameterised (see DESIGN.md §2 on substitutions).
+"""
+
+from repro.workloads.generators import (
+    JobArrival,
+    JobStreamSpec,
+    MessageTrace,
+    generate_job_stream,
+    master_worker_trace,
+    ring_trace,
+    stencil_trace,
+    synthetic_status,
+    trace_locality,
+)
+
+__all__ = [
+    "JobArrival",
+    "JobStreamSpec",
+    "MessageTrace",
+    "generate_job_stream",
+    "master_worker_trace",
+    "ring_trace",
+    "stencil_trace",
+    "synthetic_status",
+    "trace_locality",
+]

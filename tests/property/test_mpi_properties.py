@@ -1,0 +1,168 @@
+"""Property-based tests: minimpi collectives against reference semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import MAX, MIN, PROD, SUM, ReduceOp
+from repro.mpi.launcher import mpirun
+
+# Thread-spawning collectives are not cheap; keep example counts modest.
+COLLECTIVE_SETTINGS = settings(max_examples=15, deadline=None)
+
+world_sizes = st.integers(min_value=1, max_value=7)
+values_per_rank = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=7
+)
+
+
+@COLLECTIVE_SETTINGS
+@given(world_sizes, st.integers(min_value=-100, max_value=100))
+def test_bcast_delivers_root_value_everywhere(n, value):
+    def app(comm):
+        return comm.bcast(value if comm.rank == 0 else None, root=0, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.ok
+    assert result.returns == [value] * n
+
+
+@COLLECTIVE_SETTINGS
+@given(values_per_rank, st.sampled_from([SUM, PROD, MAX, MIN]))
+def test_reduce_matches_sequential_fold(values, op):
+    n = len(values)
+
+    def app(comm):
+        return comm.reduce(values[comm.rank], op, root=0, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.ok
+    assert result.returns[0] == op.reduce_all(values)
+
+
+@COLLECTIVE_SETTINGS
+@given(values_per_rank)
+def test_allreduce_agrees_on_every_rank(values):
+    n = len(values)
+
+    def app(comm):
+        return comm.allreduce(values[comm.rank], SUM, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.ok
+    assert set(result.returns) == {sum(values)}
+
+
+@COLLECTIVE_SETTINGS
+@given(values_per_rank)
+def test_gather_reconstructs_rank_order(values):
+    n = len(values)
+
+    def app(comm):
+        return comm.gather(values[comm.rank], root=0, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.returns[0] == values
+
+
+@COLLECTIVE_SETTINGS
+@given(values_per_rank)
+def test_scatter_is_gather_inverse(values):
+    n = len(values)
+
+    def app(comm):
+        mine = comm.scatter(values if comm.rank == 0 else None, root=0, timeout=30.0)
+        return comm.gather(mine, root=0, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.returns[0] == values
+
+
+@COLLECTIVE_SETTINGS
+@given(values_per_rank)
+def test_scan_prefix_property(values):
+    n = len(values)
+
+    def app(comm):
+        return comm.scan(values[comm.rank], SUM, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.returns == [sum(values[: k + 1]) for k in range(n)]
+
+
+@COLLECTIVE_SETTINGS
+@given(st.integers(min_value=1, max_value=6))
+def test_alltoall_is_a_transpose(n):
+    def app(comm):
+        return comm.alltoall(
+            [comm.rank * 100 + dest for dest in range(comm.size)], timeout=30.0
+        )
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.ok
+    for receiver, got in enumerate(result.returns):
+        assert got == [sender * 100 + receiver for sender in range(n)]
+
+
+@COLLECTIVE_SETTINGS
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=5),
+)
+def test_reduce_root_choice_irrelevant_to_value(n, root_seed):
+    root = root_seed % n
+
+    def app(comm):
+        return comm.reduce(comm.rank + 1, SUM, root=root, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.returns[root] == n * (n + 1) // 2
+    assert all(result.returns[r] is None for r in range(n) if r != root)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # dest rank (world 4)
+            st.integers(min_value=0, max_value=9),  # tag
+            st.integers(min_value=-50, max_value=50),
+        ),
+        max_size=12,
+    )
+)
+def test_p2p_messages_never_lost_or_duplicated(sends):
+    """Rank 0 sends an arbitrary batch; receivers account for all of it."""
+
+    def app(comm):
+        if comm.rank == 0:
+            for dest, tag, value in sends:
+                if dest != 0:
+                    comm.send(value, dest=dest, tag=tag)
+            return [v for d, t, v in sends if d == 0]
+        expected = [(t, v) for d, t, v in sends if d == comm.rank]
+        got = []
+        for _ in expected:
+            value, status = comm.recv(source=0, with_status=True, timeout=30.0)
+            got.append((status.tag, value))
+        return got
+
+    result = mpirun(app, 4, timeout=60.0)
+    assert result.ok
+    for rank in range(1, 4):
+        expected = [(t, v) for d, t, v in sends if d == rank]
+        assert sorted(result.returns[rank]) == sorted(expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+def test_noncommutative_reduce_any_size_and_root(data):
+    """Concatenation reduce must preserve rank order for any (n, root)."""
+    n = data.draw(st.integers(min_value=1, max_value=7))
+    root = data.draw(st.integers(min_value=0, max_value=n - 1))
+    concat = ReduceOp("concat", lambda a, b: a + b)
+
+    def app(comm):
+        return comm.reduce(f"[{comm.rank}]", concat, root=root, timeout=30.0)
+
+    result = mpirun(app, n, timeout=60.0)
+    assert result.returns[root] == "".join(f"[{i}]" for i in range(n))

@@ -1,0 +1,178 @@
+"""Unit tests for the per-node and centralised baseline models."""
+
+import pytest
+
+from repro.baselines.central import CentralizedMonitor, availability_after_failure
+from repro.baselines.pernode import (
+    CryptoCostModel,
+    TrafficSpec,
+    evaluate_pernode,
+    evaluate_proxy,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTrafficSpec:
+    def test_derived_quantities(self):
+        spec = TrafficSpec(
+            sites=2, nodes_per_site=10, messages_per_node=100,
+            message_bytes=1024, locality=0.8,
+        )
+        assert spec.total_nodes == 20
+        assert spec.total_messages == 2000
+        assert spec.intersite_messages == 400
+        assert spec.local_messages == 1600
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(sites=0, nodes_per_site=1, messages_per_node=1,
+                        message_bytes=1, locality=0.5)
+        with pytest.raises(ValueError):
+            TrafficSpec(sites=1, nodes_per_site=1, messages_per_node=1,
+                        message_bytes=1, locality=1.5)
+
+
+class TestArchitectureComparison:
+    def spec(self, locality=0.8, nodes=32):
+        return TrafficSpec(
+            sites=4, nodes_per_site=nodes, messages_per_node=200,
+            message_bytes=4096, locality=locality,
+        )
+
+    def test_proxy_wins_at_high_locality(self):
+        model = CryptoCostModel()
+        spec = self.spec(locality=0.9)
+        assert evaluate_proxy(spec, model).crypto_seconds < \
+            evaluate_pernode(spec, model).crypto_seconds
+
+    def test_pernode_encrypts_everything(self):
+        model = CryptoCostModel()
+        spec = self.spec()
+        pernode = evaluate_pernode(spec, model)
+        proxy = evaluate_proxy(spec, model)
+        assert pernode.encrypted_bytes == spec.total_messages * spec.message_bytes
+        assert proxy.encrypted_bytes == spec.intersite_messages * spec.message_bytes
+        assert proxy.encrypted_bytes < pernode.encrypted_bytes
+
+    def test_overhead_confined_to_proxies(self):
+        """The paper's core claim: overhead in a few nodes, not all."""
+        model = CryptoCostModel()
+        spec = self.spec()
+        pernode = evaluate_pernode(spec, model)
+        proxy = evaluate_proxy(spec, model)
+        assert pernode.nodes_bearing_overhead == spec.total_nodes
+        assert proxy.nodes_bearing_overhead == spec.sites
+
+    def test_proxy_handshakes_independent_of_node_count(self):
+        model = CryptoCostModel()
+        small = evaluate_proxy(self.spec(nodes=8), model)
+        large = evaluate_proxy(self.spec(nodes=256), model)
+        assert small.handshakes == large.handshakes == 4 * 3 // 2
+
+    def test_pernode_handshakes_grow_with_nodes(self):
+        model = CryptoCostModel()
+        small = evaluate_pernode(self.spec(nodes=8), model)
+        large = evaluate_pernode(self.spec(nodes=64), model)
+        assert large.handshakes > small.handshakes
+
+    def test_zero_locality_converges_on_crypto_ops(self):
+        """All-remote traffic: both architectures encrypt every message."""
+        model = CryptoCostModel()
+        spec = self.spec(locality=0.0)
+        pernode = evaluate_pernode(spec, model)
+        proxy = evaluate_proxy(spec, model)
+        assert proxy.crypto_operations == pernode.crypto_operations
+
+    def test_full_locality_frees_proxy_entirely(self):
+        model = CryptoCostModel()
+        spec = self.spec(locality=1.0)
+        proxy = evaluate_proxy(spec, model)
+        assert proxy.crypto_operations == 0
+        assert proxy.encrypted_bytes == 0
+
+    def test_per_node_overhead_metric(self):
+        model = CryptoCostModel()
+        spec = self.spec()
+        proxy = evaluate_proxy(spec, model)
+        assert proxy.crypto_seconds_per_node == pytest.approx(
+            proxy.crypto_seconds / spec.sites
+        )
+
+
+class TestCentralizedMonitor:
+    def make(self):
+        clock = FakeClock()
+        fetches = []
+
+        def fetch(node):
+            fetches.append(node)
+            return {"node": node, "alive": True}
+
+        monitor = CentralizedMonitor(
+            {"A": ["A.n0", "A.n1"], "B": ["B.n0", "B.n1", "B.n2"]},
+            fetch, clock, ttl=10.0,
+        )
+        return monitor, clock, fetches
+
+    def test_site_query_polls_each_node(self):
+        monitor, _, fetches = self.make()
+        entries = monitor.site_status("A")
+        assert len(entries) == 2
+        assert fetches == ["A.n0", "A.n1"]
+        assert monitor.queries_sent == 2
+
+    def test_global_polls_every_node(self):
+        monitor, _, fetches = self.make()
+        monitor.global_status()
+        assert monitor.queries_sent == 5
+
+    def test_cache_respected(self):
+        monitor, clock, fetches = self.make()
+        monitor.site_status("A")
+        clock.now = 5.0
+        monitor.site_status("A")
+        assert monitor.queries_sent == 2
+
+    def test_unknown_site(self):
+        monitor, _, _ = self.make()
+        with pytest.raises(KeyError):
+            monitor.site_status("Z")
+
+
+class TestAvailability:
+    SITES = {"A": 10, "B": 10, "C": 20}
+
+    def test_distributed_site_failure_partial(self):
+        impact = availability_after_failure(self.SITES, "C", "distributed")
+        assert impact.capacity_remaining == pytest.approx(0.5)
+        assert impact.controllable
+
+    def test_centralized_controller_failure_total(self):
+        impact = availability_after_failure(self.SITES, "controller", "centralized")
+        assert impact.capacity_remaining == 0.0
+        assert not impact.controllable
+
+    def test_distributed_has_no_controller(self):
+        impact = availability_after_failure(self.SITES, "controller", "distributed")
+        assert impact.capacity_remaining == 1.0
+        assert impact.controllable
+
+    def test_centralized_site_failure_partial(self):
+        impact = availability_after_failure(self.SITES, "A", "centralized")
+        assert impact.capacity_remaining == pytest.approx(0.75)
+        assert impact.controllable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability_after_failure(self.SITES, "A", "anarchist")
+        with pytest.raises(KeyError):
+            availability_after_failure(self.SITES, "Z", "distributed")
+        with pytest.raises(ValueError):
+            availability_after_failure({}, "A", "distributed")

@@ -1,0 +1,365 @@
+"""Unit tests for monitoring, scheduling, failure detection and location."""
+
+import pytest
+
+from repro.control.failure import FailureDetector, PeerState
+from repro.control.info import ResourceLocator, ResourceQuery
+from repro.control.monitor import GlobalStatusCompiler, SiteStatusCache
+from repro.control.scheduler import (
+    Job,
+    LoadBalancedScheduler,
+    NodeView,
+    RoundRobinScheduler,
+    SchedulerError,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestSiteStatusCache:
+    def test_fresh_record_returned(self):
+        cache = SiteStatusCache(ttl=10.0)
+        cache.put("A", [{"node": "A.n0"}], now=0.0)
+        record = cache.get("A", now=5.0)
+        assert record is not None
+        assert record.entries == [{"node": "A.n0"}]
+
+    def test_stale_record_hidden(self):
+        cache = SiteStatusCache(ttl=10.0)
+        cache.put("A", [], now=0.0)
+        assert cache.get("A", now=11.0) is None
+        assert cache.get_any_age("A") is not None
+
+    def test_missing_site(self):
+        cache = SiteStatusCache()
+        assert cache.get("ghost", now=0.0) is None
+
+    def test_stale_sites_listing(self):
+        cache = SiteStatusCache(ttl=10.0)
+        cache.put("A", [], now=0.0)
+        cache.put("B", [], now=8.0)
+        assert cache.stale_sites(["A", "B", "C"], now=12.0) == ["A", "C"]
+
+    def test_evict(self):
+        cache = SiteStatusCache()
+        cache.put("A", [], now=0.0)
+        cache.evict("A")
+        assert cache.get_any_age("A") is None
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            SiteStatusCache(ttl=-1.0)
+
+
+class TestGlobalStatusCompiler:
+    def make(self, ttl=10.0):
+        clock = FakeClock()
+        fetches = []
+
+        def fetch(site):
+            fetches.append(site)
+            return [{"node": f"{site}.n0", "alive": True}]
+
+        compiler = GlobalStatusCompiler(
+            ["A", "B", "C"], fetch, clock, ttl=ttl
+        )
+        return compiler, clock, fetches
+
+    def test_single_site_query_touches_one_site(self):
+        compiler, clock, fetches = self.make()
+        compiler.site_status("B")
+        assert fetches == ["B"]
+        assert compiler.queries_sent == 1
+
+    def test_cache_avoids_refetch_within_ttl(self):
+        compiler, clock, fetches = self.make()
+        compiler.site_status("A")
+        clock.now = 5.0
+        compiler.site_status("A")
+        assert fetches == ["A"]
+
+    def test_stale_site_refetched(self):
+        compiler, clock, fetches = self.make()
+        compiler.site_status("A")
+        clock.now = 11.0
+        compiler.site_status("A")
+        assert fetches == ["A", "A"]
+
+    def test_global_refreshes_only_stale(self):
+        compiler, clock, fetches = self.make()
+        compiler.site_status("A")
+        clock.now = 5.0
+        status = compiler.global_status()
+        assert sorted(status) == ["A", "B", "C"]
+        assert fetches == ["A", "B", "C"]  # A was still fresh
+
+    def test_unknown_site_rejected(self):
+        compiler, _, _ = self.make()
+        with pytest.raises(KeyError):
+            compiler.site_status("Z")
+
+    def test_add_remove_site(self):
+        compiler, clock, fetches = self.make()
+        compiler.add_site("D")
+        compiler.global_status()
+        assert "D" in compiler.cache.known_sites()
+        compiler.remove_site("D")
+        assert "D" not in compiler.sites
+        assert compiler.cache.get_any_age("D") is None
+
+
+class TestSchedulers:
+    def nodes(self):
+        return [
+            NodeView(name="A.n0", site="A", speed=1.0),
+            NodeView(name="A.n1", site="A", speed=1.0),
+            NodeView(name="B.n0", site="B", speed=4.0),
+        ]
+
+    def test_round_robin_cycles_in_order(self):
+        scheduler = RoundRobinScheduler(self.nodes())
+        names = [scheduler.assign(Job(work=1.0)) for _ in range(6)]
+        assert names == ["A.n0", "A.n1", "B.n0", "A.n0", "A.n1", "B.n0"]
+
+    def test_round_robin_skips_dead_nodes(self):
+        nodes = self.nodes()
+        nodes[1].alive = False
+        scheduler = RoundRobinScheduler(nodes)
+        names = [scheduler.assign(Job(work=1.0)) for _ in range(4)]
+        assert "A.n1" not in names
+
+    def test_round_robin_respects_ram(self):
+        nodes = self.nodes()
+        nodes[0].ram_free = 10
+        scheduler = RoundRobinScheduler(nodes)
+        name = scheduler.assign(Job(work=1.0, ram=100))
+        assert name != "A.n0"
+
+    def test_load_balanced_prefers_fast_node(self):
+        scheduler = LoadBalancedScheduler(self.nodes())
+        # The 4x node should take the first several jobs before the slow
+        # nodes become competitive.
+        names = [scheduler.assign(Job(work=4.0)) for _ in range(3)]
+        assert names[0] == "B.n0"
+        assert names.count("B.n0") >= 2
+
+    def test_load_balanced_accounts_queue(self):
+        scheduler = LoadBalancedScheduler(
+            [
+                NodeView(name="x", site="A", speed=1.0),
+                NodeView(name="y", site="A", speed=1.0),
+            ]
+        )
+        first = scheduler.assign(Job(work=10.0))
+        second = scheduler.assign(Job(work=10.0))
+        assert {first, second} == {"x", "y"}
+
+    def test_load_balanced_avoids_owner_loaded_node(self):
+        scheduler = LoadBalancedScheduler(
+            [
+                NodeView(name="busy", site="A", speed=2.0, owner_load=0.9),
+                NodeView(name="idle", site="A", speed=1.0, owner_load=0.0),
+            ]
+        )
+        assert scheduler.assign(Job(work=1.0)) == "idle"
+
+    def test_makespan_lb_beats_rr_on_heterogeneous(self):
+        jobs = [Job(work=10.0) for _ in range(12)]
+        rr = RoundRobinScheduler(self.nodes())
+        lb = LoadBalancedScheduler(self.nodes())
+        rr.assign_all(jobs)
+        lb.assign_all([Job(work=10.0) for _ in range(12)])
+        assert lb.makespan_estimate() < rr.makespan_estimate()
+
+    def test_complete_reduces_queue(self):
+        scheduler = LoadBalancedScheduler(self.nodes())
+        name = scheduler.assign(Job(work=5.0))
+        scheduler.complete(name, 5.0)
+        assert scheduler.nodes[name].queued_work == 0.0
+
+    def test_no_eligible_node_raises(self):
+        nodes = self.nodes()
+        for node in nodes:
+            node.alive = False
+        scheduler = LoadBalancedScheduler(nodes)
+        with pytest.raises(SchedulerError):
+            scheduler.assign(Job(work=1.0))
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler([])
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(SchedulerError):
+            RoundRobinScheduler(
+                [NodeView(name="x", site="A"), NodeView(name="x", site="B")]
+            )
+
+    def test_job_validation(self):
+        with pytest.raises(SchedulerError):
+            Job(work=-1.0)
+        with pytest.raises(SchedulerError):
+            Job(work=1.0, ram=-5)
+
+    def test_stalled_node_never_chosen_by_lb(self):
+        scheduler = LoadBalancedScheduler(
+            [
+                NodeView(name="stalled", site="A", owner_load=1.0),
+                NodeView(name="ok", site="A"),
+            ]
+        )
+        for _ in range(3):
+            assert scheduler.assign(Job(work=1.0)) == "ok"
+
+
+class TestFailureDetector:
+    def test_alive_until_timeout(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        detector.watch("proxy.B")
+        clock.now = 2.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.ALIVE
+
+    def test_suspect_then_dead(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        detector.watch("proxy.B")
+        clock.now = 5.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.SUSPECT
+        clock.now = 11.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.DEAD
+
+    def test_heartbeat_keeps_alive(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        detector.watch("proxy.B")
+        for t in [2.0, 4.0, 6.0, 8.0]:
+            clock.now = t
+            detector.heard_from("proxy.B")
+        clock.now = 10.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.ALIVE
+
+    def test_recovery_fires_callback(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        events = []
+        detector.on_suspect.append(lambda p: events.append(("suspect", p)))
+        detector.on_dead.append(lambda p: events.append(("dead", p)))
+        detector.on_recover.append(lambda p: events.append(("recover", p)))
+        detector.watch("proxy.B")
+        clock.now = 5.0
+        detector.check()
+        clock.now = 11.0
+        detector.check()
+        detector.heard_from("proxy.B")
+        assert events == [
+            ("suspect", "proxy.B"),
+            ("dead", "proxy.B"),
+            ("recover", "proxy.B"),
+        ]
+
+    def test_transition_callbacks_fire_once(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        events = []
+        detector.on_dead.append(lambda p: events.append(p))
+        detector.watch("proxy.B")
+        clock.now = 20.0
+        detector.check()
+        detector.check()
+        detector.check()
+        assert events == ["proxy.B"]
+
+    def test_alive_and_dead_listings(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        detector.watch("proxy.B")
+        detector.watch("proxy.C")
+        clock.now = 11.0
+        detector.heard_from("proxy.C")
+        assert detector.alive_peers() == ["proxy.C"]
+        assert detector.dead_peers() == ["proxy.B"]
+
+    def test_unwatched_peer_unknown(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock)
+        with pytest.raises(KeyError):
+            detector.state_of("ghost")
+
+    def test_heard_from_unknown_starts_watching(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock)
+        detector.heard_from("new-peer")
+        assert detector.state_of("new-peer") is PeerState.ALIVE
+
+    def test_parameter_validation(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError):
+            FailureDetector(clock, suspect_after=0, dead_after=10)
+        with pytest.raises(ValueError):
+            FailureDetector(clock, suspect_after=5, dead_after=5)
+
+
+class TestResourceLocator:
+    def status(self):
+        return {
+            "A": [
+                {"node": "A.n0", "site": "A", "cpu_speed": 1.0, "ram_free": 512,
+                 "disk_free": 1000, "running_tasks": 0, "alive": True},
+                {"node": "A.n1", "site": "A", "cpu_speed": 2.0, "ram_free": 256,
+                 "disk_free": 1000, "running_tasks": 1, "alive": True},
+            ],
+            "B": [
+                {"node": "B.n0", "site": "B", "cpu_speed": 4.0, "ram_free": 1024,
+                 "disk_free": 1000, "running_tasks": 0, "alive": True},
+                {"node": "B.n1", "site": "B", "cpu_speed": 4.0, "ram_free": 1024,
+                 "disk_free": 1000, "running_tasks": 0, "alive": False},
+            ],
+        }
+
+    def test_find_fastest_first(self):
+        locator = ResourceLocator(self.status())
+        found = locator.find(ResourceQuery(count=2))
+        assert [e["node"] for e in found] == ["B.n0", "A.n1"]
+
+    def test_alive_filter(self):
+        locator = ResourceLocator(self.status())
+        found = locator.find(ResourceQuery(count=10))
+        assert "B.n1" not in [e["node"] for e in found]
+        relaxed = locator.find(ResourceQuery(count=10, require_alive=False))
+        assert "B.n1" in [e["node"] for e in relaxed]
+
+    def test_ram_constraint(self):
+        locator = ResourceLocator(self.status())
+        found = locator.find(ResourceQuery(min_ram_free=600, count=10))
+        assert [e["node"] for e in found] == ["B.n0"]
+
+    def test_idle_constraint(self):
+        locator = ResourceLocator(self.status())
+        found = locator.find(ResourceQuery(require_idle=True, count=10))
+        assert "A.n1" not in [e["node"] for e in found]
+
+    def test_prefer_site_ordering(self):
+        locator = ResourceLocator(self.status())
+        found = locator.find(ResourceQuery(prefer_site="A", count=3))
+        assert found[0]["site"] == "A"
+
+    def test_count_matching_and_sites(self):
+        locator = ResourceLocator(self.status())
+        query = ResourceQuery(min_cpu_speed=1.5)
+        assert locator.count_matching(query) == 2  # A.n1 and B.n0
+        assert locator.sites_with_capacity(query) == ["A", "B"]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            ResourceQuery(count=0)

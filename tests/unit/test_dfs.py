@@ -1,0 +1,233 @@
+"""Unit tests for the distributed filing system."""
+
+import pytest
+
+from repro.dfs.filesystem import DfsError, GridFileSystem
+from repro.dfs.metadata import FileEntry, Namespace, NamespaceError
+from repro.dfs.storage import ChunkStore, StorageError, chunk_id
+
+
+class TestChunkStore:
+    def test_put_get_round_trip(self):
+        store = ChunkStore("A", capacity=1000)
+        cid = store.put(b"hello chunks")
+        assert store.get(cid) == b"hello chunks"
+        assert store.has(cid)
+
+    def test_content_addressing(self):
+        store = ChunkStore("A")
+        assert store.put(b"data") == chunk_id(b"data")
+
+    def test_deduplication(self):
+        store = ChunkStore("A", capacity=100)
+        store.put(b"same")
+        store.put(b"same")
+        assert store.chunk_count() == 1
+        assert store.used == 4
+
+    def test_refcounted_release(self):
+        store = ChunkStore("A")
+        cid = store.put(b"x")
+        store.put(b"x")
+        store.release(cid)
+        assert store.has(cid)
+        store.release(cid)
+        assert not store.has(cid)
+
+    def test_capacity_enforced(self):
+        store = ChunkStore("A", capacity=10)
+        store.put(b"12345678")
+        with pytest.raises(StorageError, match="full"):
+            store.put(b"xyz")
+
+    def test_missing_chunk(self):
+        store = ChunkStore("A")
+        with pytest.raises(StorageError, match="not at site"):
+            store.get("0" * 64)
+
+    def test_failed_store_rejects_everything(self):
+        store = ChunkStore("A")
+        cid = store.put(b"x")
+        store.fail()
+        assert not store.available
+        assert not store.has(cid)
+        with pytest.raises(StorageError, match="down"):
+            store.get(cid)
+        with pytest.raises(StorageError, match="down"):
+            store.put(b"y")
+        store.recover()
+        assert store.get(cid) == b"x"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            ChunkStore("A", capacity=0)
+
+
+class TestNamespace:
+    def test_create_get_remove(self):
+        ns = Namespace()
+        ns.create(FileEntry(path="/a/b", size=3, chunk_size=10))
+        assert ns.get("/a/b").size == 3
+        assert ns.exists("/a/b")
+        ns.remove("/a/b")
+        assert not ns.exists("/a/b")
+
+    def test_duplicate_rejected(self):
+        ns = Namespace()
+        ns.create(FileEntry(path="/x", size=1, chunk_size=1))
+        with pytest.raises(NamespaceError, match="exists"):
+            ns.create(FileEntry(path="/x", size=1, chunk_size=1))
+
+    def test_relative_path_rejected(self):
+        ns = Namespace()
+        with pytest.raises(NamespaceError):
+            ns.create(FileEntry(path="no-slash", size=1, chunk_size=1))
+
+    def test_missing_path(self):
+        ns = Namespace()
+        with pytest.raises(NamespaceError, match="no such file"):
+            ns.get("/ghost")
+
+    def test_list_by_prefix(self):
+        ns = Namespace()
+        for path in ["/data/a", "/data/b", "/logs/x"]:
+            ns.create(FileEntry(path=path, size=1, chunk_size=1))
+        assert ns.list("/data") == ["/data/a", "/data/b"]
+        assert len(ns.list("/")) == 3
+
+    def test_totals(self):
+        ns = Namespace()
+        ns.create(FileEntry(path="/a", size=10, chunk_size=1))
+        ns.create(FileEntry(path="/b", size=20, chunk_size=1))
+        assert ns.total_bytes() == 30
+        assert ns.file_count() == 2
+
+
+class TestGridFileSystem:
+    def make(self, sites=3, replication=2, chunk_size=16):
+        fs = GridFileSystem(replication=replication, chunk_size=chunk_size)
+        for name in [f"site{i}" for i in range(sites)]:
+            fs.add_site(name, capacity=10_000)
+        return fs
+
+    def test_write_read_round_trip(self):
+        fs = self.make()
+        data = bytes(range(256)) * 3
+        fs.write("/data/blob", data)
+        assert fs.read("/data/blob") == data
+
+    def test_empty_file(self):
+        fs = self.make()
+        fs.write("/empty", b"")
+        assert fs.read("/empty") == b""
+
+    def test_chunking(self):
+        fs = self.make(chunk_size=16)
+        data = b"x" * 50  # 4 chunks: 16+16+16+2
+        entry = fs.write("/f", data)
+        assert entry.chunk_count == 4
+
+    def test_replication_across_distinct_sites(self):
+        fs = self.make(replication=2)
+        entry = fs.write("/f", b"payload")
+        for index in range(entry.chunk_count):
+            holders = entry.sites_for(index)
+            assert len(holders) == 2
+            assert len(set(holders)) == 2
+
+    def test_duplicate_path_rejected(self):
+        fs = self.make()
+        fs.write("/f", b"1")
+        with pytest.raises(DfsError, match="exists"):
+            fs.write("/f", b"2")
+
+    def test_survives_single_site_failure(self):
+        fs = self.make(sites=3, replication=2)
+        data = b"important" * 100
+        fs.write("/critical", data)
+        fs.store_of("site0").fail()
+        assert fs.read("/critical") == data
+
+    def test_read_prefers_local_site(self):
+        fs = self.make(sites=3, replication=3)  # replica everywhere
+        fs.write("/f", b"payload")
+        fs.read("/f", site="site1")
+        assert fs.local_chunk_reads == 1
+        assert fs.remote_chunk_reads == 0
+
+    def test_remote_read_accounted(self):
+        fs = self.make(sites=3, replication=1)
+        entry = fs.write("/f", b"payload")
+        holder = entry.sites_for(0)[0]
+        other = next(s for s in fs.sites() if s != holder)
+        fs.read("/f", site=other)
+        assert fs.remote_chunk_reads == 1
+
+    def test_all_replicas_down_raises(self):
+        fs = self.make(sites=2, replication=2)
+        fs.write("/f", b"data")
+        fs.store_of("site0").fail()
+        fs.store_of("site1").fail()
+        with pytest.raises(DfsError, match="unavailable"):
+            fs.read("/f")
+
+    def test_delete_frees_space(self):
+        fs = self.make()
+        fs.write("/f", b"z" * 100)
+        used_before = sum(fs.store_of(s).used for s in fs.sites())
+        assert used_before > 0
+        fs.delete("/f")
+        assert sum(fs.store_of(s).used for s in fs.sites()) == 0
+        assert not fs.namespace.exists("/f")
+
+    def test_insufficient_sites_rejected(self):
+        fs = GridFileSystem(replication=3)
+        fs.add_site("only", capacity=1000)
+        with pytest.raises(DfsError, match="only 1 available"):
+            fs.write("/f", b"data")
+
+    def test_failed_write_rolls_back(self):
+        fs = GridFileSystem(replication=2, chunk_size=100)
+        fs.add_site("big", capacity=10_000)
+        fs.add_site("small", capacity=150)
+        # Second chunk cannot find two sites with room -> whole write fails.
+        with pytest.raises(DfsError):
+            fs.write("/f", b"q" * 300)
+        assert fs.store_of("big").used == 0
+        assert fs.store_of("small").used == 0
+        assert not fs.namespace.exists("/f")
+
+    def test_re_replication_restores_redundancy(self):
+        fs = self.make(sites=3, replication=2)
+        data = b"replicate me" * 50
+        fs.write("/f", data)
+        entry = fs.stat("/f")
+        victim = entry.sites_for(0)[0]
+        fs.store_of(victim).fail()
+        recreated = fs.re_replicate(victim)
+        assert recreated >= 1
+        # Now even a second failure of the re-replication source is survivable.
+        entry = fs.stat("/f")
+        for index in range(entry.chunk_count):
+            live = [
+                s for s in entry.sites_for(index) if fs.store_of(s).available
+            ]
+            assert len(live) >= 2
+
+    def test_ls_and_stat(self):
+        fs = self.make()
+        fs.write("/data/a", b"1")
+        fs.write("/data/b", b"22")
+        assert fs.ls("/data") == ["/data/a", "/data/b"]
+        assert fs.stat("/data/b").size == 2
+
+    def test_validation(self):
+        with pytest.raises(DfsError):
+            GridFileSystem(replication=0)
+        with pytest.raises(DfsError):
+            GridFileSystem(chunk_size=0)
+        fs = self.make()
+        with pytest.raises(DfsError):
+            fs.add_site("site0")  # duplicate
+        with pytest.raises(DfsError):
+            fs.store_of("nope")

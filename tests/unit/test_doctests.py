@@ -1,0 +1,50 @@
+"""Run the doctests embedded in module and class docstrings.
+
+Keeps every usage example in the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.security.dh
+import repro.simulation.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.simulation.engine,
+        repro.security.dh,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
+
+
+def test_grid_class_doctest():
+    """The Grid docstring example spins up real middleware; run it."""
+    import repro.core.grid as grid_module
+
+    runner = doctest.DocTestRunner(verbose=False)
+    finder = doctest.DocTestFinder()
+    ran = 0
+    globs = {"Grid": grid_module.Grid}
+    for test in finder.find(grid_module.Grid, "Grid", globs=globs):
+        if test.examples:
+            runner.run(test)
+            ran += len(test.examples)
+    assert ran > 0
+    assert runner.failures == 0
+
+
+def test_package_doctest():
+    """The top-level quick tour in repro/__init__.py must work."""
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

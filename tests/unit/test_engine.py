@@ -1,0 +1,367 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation.engine import (
+    Interrupt,
+    Queue,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.spawn(proc(sim, "late", 3.0))
+    sim.spawn(proc(sim, "early", 1.0))
+    sim.spawn(proc(sim, "mid", 2.0))
+    sim.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ["a", "b", "c"]:
+        sim.spawn(proc(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100.0)
+
+    sim.spawn(proc(sim))
+    end = sim.run(until=10.0)
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_beyond_last_event_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc(sim))
+    end = sim.run(until=50.0)
+    assert end == 50.0
+
+
+def test_process_return_value_delivered_to_waiter():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        results.append(value)
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert results == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_process_crash_surfaces():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unobserved")
+
+    sim.spawn(child(sim))
+    with pytest.raises(RuntimeError, match="unobserved"):
+        sim.run()
+
+
+def test_event_succeed_wakes_waiters():
+    sim = Simulator()
+    seen = []
+    gate = None
+
+    def opener(sim):
+        yield sim.timeout(2.0)
+        gate.succeed("opened")
+
+    def waiter(sim):
+        value = yield gate
+        seen.append((sim.now, value))
+
+    gate = sim.event()
+    sim.spawn(waiter(sim))
+    sim.spawn(opener(sim))
+    sim.run()
+    assert seen == [(2.0, "opened")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    caught = []
+    gate = None
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        gate.fail(OSError("down"))
+
+    def waiter(sim):
+        try:
+            yield gate
+        except OSError as exc:
+            caught.append(str(exc))
+
+    gate = sim.event()
+    sim.spawn(waiter(sim))
+    sim.spawn(failer(sim))
+    sim.run()
+    assert caught == ["down"]
+
+
+def test_waiting_on_already_triggered_event():
+    sim = Simulator()
+    seen = []
+    event = sim.event()
+    event.succeed("ready")
+
+    def proc(sim):
+        value = yield event
+        seen.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == ["ready"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+    record = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            record.append("finished")
+        except Interrupt as intr:
+            record.append(("interrupted", sim.now, intr.cause))
+
+    def killer(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt("site failure")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(killer(sim, victim))
+    sim.run()
+    assert record == [("interrupted", 3.0, "site failure")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def short(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(short(sim))
+    sim.run()
+    assert not proc.alive
+    proc.interrupt("too late")  # must not raise
+    sim.run()
+
+
+def test_queue_fifo_order():
+    sim = Simulator()
+    got = []
+
+    def producer(sim, queue):
+        for i in range(3):
+            queue.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer(sim, queue):
+        for _ in range(3):
+            item = yield queue.get()
+            got.append((sim.now, item))
+
+    queue = sim.queue()
+    sim.spawn(producer(sim, queue))
+    sim.spawn(consumer(sim, queue))
+    sim.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    got = []
+
+    def consumer(sim, queue):
+        item = yield queue.get()
+        got.append((sim.now, item))
+
+    def producer(sim, queue):
+        yield sim.timeout(7.0)
+        queue.put("x")
+
+    queue = sim.queue()
+    sim.spawn(consumer(sim, queue))
+    sim.spawn(producer(sim, queue))
+    sim.run()
+    assert got == [(7.0, "x")]
+
+
+def test_queue_len_counts_buffered_items():
+    sim = Simulator()
+    queue = sim.queue()
+    queue.put(1)
+    queue.put(2)
+    assert len(queue) == 2
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        winner, value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(2.0, "fast")])
+        seen.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [(2.0, "fast")]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        values = yield sim.all_of([sim.timeout(5.0, "a"), sim.timeout(2.0, "b")])
+        seen.append((sim.now, sorted(values)))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [(5.0, ["a", "b"])]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+    caught = []
+
+    def bad(sim):
+        yield 42
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert len(caught) == 1
+    assert "non-event" in caught[0]
+
+
+def test_cross_simulator_event_rejected():
+    sim1 = Simulator()
+    sim2 = Simulator()
+    caught = []
+    foreign = sim2.event()
+
+    def bad(sim):
+        yield foreign
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    sim1.spawn(parent(sim1))
+    sim1.run()
+    assert len(caught) == 1
+    assert "another simulator" in caught[0]
+
+
+def test_nested_spawn_chain():
+    sim = Simulator()
+    results = []
+
+    def level(sim, depth):
+        if depth == 0:
+            yield sim.timeout(1.0)
+            return 1
+        below = yield sim.spawn(level(sim, depth - 1))
+        return below + 1
+
+    def root(sim):
+        total = yield sim.spawn(level(sim, 10))
+        results.append((sim.now, total))
+
+    sim.spawn(root(sim))
+    sim.run()
+    assert results == [(1.0, 11)]

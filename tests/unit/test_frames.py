@@ -1,0 +1,231 @@
+"""Unit tests for the wire codec and frame format."""
+
+import pytest
+
+from repro.transport.errors import CodecError, FrameError
+from repro.transport.frames import (
+    MAX_FRAME_PAYLOAD,
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+)
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**200,
+            -(2**200),
+            0.0,
+            3.14,
+            float("inf"),
+            "",
+            "hello",
+            "unicode: ação ∑",
+            b"",
+            b"\x00\xff" * 10,
+            [],
+            [1, "two", 3.0],
+            (),
+            (1, 2),
+            {},
+            {"a": 1, "b": [True, None]},
+            {"nested": {"deep": {"deeper": [1, (2, {"x": b"y"})]}}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_distinct_from_list(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+
+    def test_bool_distinct_from_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_rejects_foreign_types(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+        with pytest.raises(CodecError):
+            encode_value({1: "non-string key"})
+        with pytest.raises(CodecError):
+            encode_value(set())
+
+    def test_rejects_excessive_nesting(self):
+        value = []
+        for _ in range(100):
+            value = [value]
+        with pytest.raises(CodecError):
+            encode_value(value)
+
+    def test_rejects_trailing_garbage(self):
+        blob = encode_value(42) + b"junk"
+        with pytest.raises(CodecError):
+            decode_value(blob)
+
+    def test_rejects_truncation(self):
+        blob = encode_value("hello world")
+        with pytest.raises(CodecError):
+            decode_value(blob[:-3])
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode_value(b"\xfe")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(CodecError):
+            decode_value(b"")
+
+    def test_rejects_bad_utf8(self):
+        blob = bytearray(encode_value("ab"))
+        blob[-1] = 0xFF  # corrupt the string body
+        with pytest.raises(CodecError):
+            decode_value(bytes(blob))
+
+    def test_hostile_length_field(self):
+        # A list claiming 2**32-1 elements must not allocate.
+        blob = b"\x07\xff\xff\xff\xff"
+        with pytest.raises(CodecError):
+            decode_value(blob)
+
+
+class TestFrame:
+    def test_round_trip(self):
+        frame = Frame(
+            kind=FrameKind.CONTROL,
+            channel=7,
+            headers={"op": "JOB_SUBMIT", "seq": 3},
+            payload=b"body",
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind == FrameKind.CONTROL
+        assert decoded.channel == 7
+        assert decoded.headers == {"op": "JOB_SUBMIT", "seq": 3}
+        assert decoded.payload == b"body"
+
+    def test_empty_frame(self):
+        frame = Frame(kind=FrameKind.HEARTBEAT)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.headers == {}
+        assert decoded.payload == b""
+
+    def test_all_kinds_round_trip(self):
+        for kind in FrameKind:
+            decoded = decode_frame(encode_frame(Frame(kind=kind)))
+            assert decoded.kind == kind
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(kind=99)
+
+    def test_channel_range_enforced(self):
+        with pytest.raises(FrameError):
+            Frame(kind=FrameKind.DATA, channel=-1)
+        with pytest.raises(FrameError):
+            Frame(kind=FrameKind.DATA, channel=2**32)
+
+    def test_payload_must_be_bytes(self):
+        with pytest.raises(FrameError):
+            Frame(kind=FrameKind.DATA, payload="text")
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(encode_frame(Frame(kind=FrameKind.DATA)))
+        blob[0] = 0x00
+        with pytest.raises(FrameError):
+            decode_frame(bytes(blob))
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(encode_frame(Frame(kind=FrameKind.DATA)))
+        blob[2] = 99
+        with pytest.raises(FrameError):
+            decode_frame(bytes(blob))
+
+    def test_unknown_wire_kind_rejected(self):
+        blob = bytearray(encode_frame(Frame(kind=FrameKind.DATA)))
+        blob[3] = 200
+        with pytest.raises(FrameError):
+            decode_frame(bytes(blob))
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_frame(Frame(kind=FrameKind.DATA)) + b"x"
+        with pytest.raises(FrameError):
+            decode_frame(blob)
+
+    def test_truncated_frame_rejected(self):
+        blob = encode_frame(Frame(kind=FrameKind.DATA, payload=b"abcdef"))
+        with pytest.raises(FrameError):
+            decode_frame(blob[:-2])
+
+    def test_oversized_payload_rejected(self):
+        frame = Frame(kind=FrameKind.DATA)
+        frame.payload = b"\x00" * (MAX_FRAME_PAYLOAD + 1)
+        with pytest.raises(FrameError):
+            encode_frame(frame)
+
+    def test_hostile_payload_length_rejected(self):
+        blob = bytearray(encode_frame(Frame(kind=FrameKind.DATA)))
+        blob[12:16] = (MAX_FRAME_PAYLOAD + 1).to_bytes(4, "big")
+        with pytest.raises(FrameError):
+            decode_frame(bytes(blob))
+
+    def test_wire_size(self):
+        frame = Frame(kind=FrameKind.DATA, payload=b"1234")
+        assert frame.wire_size() == len(encode_frame(frame))
+
+
+class TestFrameDecoder:
+    def test_reassembles_split_frames(self):
+        frames = [
+            Frame(kind=FrameKind.CONTROL, headers={"n": i}, payload=bytes([i]) * i)
+            for i in range(5)
+        ]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        # Feed one byte at a time: worst-case fragmentation.
+        for i in range(0, len(blob), 3):
+            decoder.feed(blob[i : i + 3])
+            out.extend(decoder)
+        assert [f.headers["n"] for f in out] == [0, 1, 2, 3, 4]
+        assert decoder.pending_bytes == 0
+
+    def test_coalesced_frames_in_one_chunk(self):
+        blob = encode_frame(Frame(kind=FrameKind.DATA, payload=b"a")) + encode_frame(
+            Frame(kind=FrameKind.DATA, payload=b"b")
+        )
+        decoder = FrameDecoder()
+        decoder.feed(blob)
+        frames = list(decoder)
+        assert [f.payload for f in frames] == [b"a", b"b"]
+
+    def test_incomplete_frame_returns_none(self):
+        blob = encode_frame(Frame(kind=FrameKind.DATA, payload=b"abc"))
+        decoder = FrameDecoder()
+        decoder.feed(blob[:-1])
+        assert decoder.next_frame() is None
+        decoder.feed(blob[-1:])
+        assert decoder.next_frame() is not None
+
+    def test_corrupt_stream_poisons_decoder(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"XXXXXXXXXXXXXXXXXXXX")
+        with pytest.raises(FrameError):
+            decoder.next_frame()
+        with pytest.raises(FrameError):
+            decoder.feed(b"more")
+        with pytest.raises(FrameError):
+            decoder.next_frame()

@@ -1,0 +1,77 @@
+"""Unit tests for the Grid API façade (the paper's layer-3 API)."""
+
+import pytest
+
+from repro.control.api import GridApi
+from repro.core.grid import Grid, GridError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    g = Grid()
+    g.add_site("A", nodes=2, node_speeds=[1.0, 2.0])
+    g.add_site("B", nodes=1)
+    g.connect_all()
+    g.add_user("alice", "pw")
+    yield g
+    g.shutdown()
+
+
+@pytest.fixture()
+def api(grid):
+    return GridApi(grid)
+
+
+class TestStationState:
+    def test_reports_ram_cpu_hd(self, api):
+        state = api.station_state("A.n1")
+        assert state["node"] == "A.n1"
+        assert state["site"] == "A"
+        assert state["cpu_speed"] == 2.0
+        assert state["ram_free"] <= state["ram_total"]
+        assert state["disk_free"] <= state["disk_total"]
+        assert state["alive"] is True
+
+    def test_unknown_station_raises(self, api):
+        with pytest.raises(GridError, match="unknown station"):
+            api.station_state("nope.n9")
+
+
+class TestSiteAndGridState:
+    def test_site_state_via_proxy(self, api):
+        entries = api.site_state("A")
+        assert len(entries) == 2
+        assert {e["node"] for e in entries} == {"A.n0", "A.n1"}
+
+    def test_grid_state_compiles_everything(self, api):
+        state = api.grid_state()
+        assert sorted(state) == ["A", "B"]
+        assert len(state["A"]) == 2
+        assert len(state["B"]) == 1
+
+    def test_grid_state_via_other_site(self, api):
+        state = api.grid_state(via_site="B")
+        assert sorted(state) == ["A", "B"]
+
+
+class TestSummaryAndTopology:
+    def test_summary_counts(self, api):
+        summary = api.summary()
+        assert summary["sites"] == 2
+        assert summary["nodes"] == 3
+        assert summary["alive_nodes"] == 3
+        assert summary["users"] == 1
+        assert summary["site_names"] == ["A", "B"]
+
+    def test_topology_structure(self, api):
+        topology = api.topology()["sites"]
+        assert topology["A"]["proxy"] == "proxy.A"
+        assert topology["A"]["nodes"] == ["A.n0", "A.n1"]
+        assert topology["A"]["tunnels"] == ["proxy.B"]
+
+    def test_summary_reflects_node_failure(self, api, grid):
+        grid.sites["B"].nodes["B.n0"].fail()
+        try:
+            assert api.summary()["alive_nodes"] == 2
+        finally:
+            grid.sites["B"].nodes["B.n0"].recover()

@@ -1,0 +1,138 @@
+"""Unit tests for metrics primitives."""
+
+import pytest
+
+from repro.simulation.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_add_accumulates(self):
+        c = Counter("c")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(5)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestHistogram:
+    def test_empty_summary_is_zero(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.count == 0
+
+    def test_mean_and_extremes(self):
+        h = Histogram("h")
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(x)
+        assert h.mean == 2.5
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.total == 10.0
+
+    def test_median_exact(self):
+        h = Histogram("h")
+        for x in [5.0, 1.0, 3.0]:
+            h.observe(x)
+        assert h.quantile(0.5) == 3.0
+
+    def test_quantile_interpolates(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.25) == 2.5
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_observe_after_quantile_resorts(self):
+        h = Histogram("h")
+        h.observe(10.0)
+        h.observe(0.0)
+        assert h.quantile(0.0) == 0.0
+        h.observe(-5.0)
+        assert h.quantile(0.0) == -5.0
+
+    def test_stddev(self):
+        h = Histogram("h")
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            h.observe(x)
+        assert h.stddev == pytest.approx(2.138, abs=0.01)
+
+    def test_stddev_single_sample_zero(self):
+        h = Histogram("h")
+        h.observe(3.0)
+        assert h.stddev == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert ts.last() == (1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries("s")
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 0.0)  # value 0 for 1s
+        ts.record(1.0, 10.0)  # value 10 for 3s
+        ts.record(4.0, 0.0)
+        assert ts.time_weighted_mean() == pytest.approx((0 * 1 + 10 * 3) / 4)
+
+    def test_time_weighted_mean_single_point(self):
+        ts = TimeSeries("s")
+        ts.record(2.0, 7.0)
+        assert ts.time_weighted_mean() == 7.0
+
+    def test_values(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert ts.values() == [1.0, 2.0]
+
+
+class TestMetricsRegistry:
+    def test_counter_is_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_snapshot_flattens_all_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").add(3)
+        reg.histogram("lat").observe(1.0)
+        reg.timeseries("util").record(0.0, 0.5)
+        snap = reg.snapshot()
+        assert snap["ops"] == 3
+        assert snap["lat.mean"] == 1.0
+        assert "util.twmean" in snap
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").add(3)
+        reg.reset()
+        assert reg.snapshot() == {}

@@ -1,0 +1,222 @@
+"""Unit tests for minimpi collectives across world sizes.
+
+World sizes cover 1, 2, powers of two and awkward odd sizes, because the
+binomial-tree algorithms have distinct code paths for each.
+"""
+
+import pytest
+
+from repro.mpi.communicator import MpiError
+from repro.mpi.datatypes import MAX, MIN, PROD, SUM, LAND, LOR
+from repro.mpi.launcher import mpirun
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_completes(n):
+    result = mpirun(lambda comm: comm.barrier(timeout=10.0) or "ok", n, timeout=20.0)
+    assert result.ok
+
+
+def test_barrier_orders_side_effects():
+    import threading
+
+    arrived = []
+    lock = threading.Lock()
+
+    def app(comm):
+        with lock:
+            arrived.append(("before", comm.rank))
+        comm.barrier(timeout=10.0)
+        with lock:
+            arrived.append(("after", comm.rank))
+
+    result = mpirun(app, 4, timeout=20.0)
+    assert result.ok
+    phases = [phase for phase, _ in arrived]
+    assert phases.index("after") >= phases.count("before") - phases[::-1].count("before")
+    # All "before" entries precede all "after" entries.
+    last_before = max(i for i, p in enumerate(phases) if p == "before")
+    first_after = min(i for i, p in enumerate(phases) if p == "after")
+    assert last_before < first_after
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_from_any_root(n, root):
+    root_rank = n - 1 if root == "last" else 0
+
+    def app(comm):
+        payload = {"data": [1, 2, 3]} if comm.rank == root_rank else None
+        return comm.bcast(payload, root=root_rank, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.ok
+    assert all(r == {"data": [1, 2, 3]} for r in result.returns)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(n):
+    def app(comm):
+        return comm.reduce(comm.rank + 1, SUM, root=0, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.ok
+    assert result.returns[0] == n * (n + 1) // 2
+    assert all(r is None for r in result.returns[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_to_nonzero_root(n):
+    root = n - 1
+
+    def app(comm):
+        return comm.reduce(comm.rank, SUM, root=root, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.returns[root] == sum(range(n))
+
+
+@pytest.mark.parametrize("op,values,expected", [
+    (SUM, [1, 2, 3, 4], 10),
+    (PROD, [1, 2, 3, 4], 24),
+    (MAX, [3, 1, 4, 1], 4),
+    (MIN, [3, 1, 4, 1], 1),
+    (LAND, [True, True, False, True], False),
+    (LOR, [False, False, True, False], True),
+])
+def test_reduce_operations(op, values, expected):
+    def app(comm):
+        return comm.reduce(values[comm.rank], op, root=0, timeout=10.0)
+
+    result = mpirun(app, len(values), timeout=20.0)
+    assert result.returns[0] == expected
+
+
+def test_reduce_noncommutative_preserves_rank_order():
+    """String concatenation is associative but not commutative."""
+    def app(comm):
+        from repro.mpi.datatypes import ReduceOp
+        concat = ReduceOp("concat", lambda a, b: a + b)
+        return comm.reduce(str(comm.rank), concat, root=0, timeout=10.0)
+
+    for n in [2, 3, 4, 5, 8]:
+        result = mpirun(app, n, timeout=20.0)
+        assert result.returns[0] == "".join(str(i) for i in range(n)), f"n={n}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce(n):
+    def app(comm):
+        return comm.allreduce(comm.rank + 1, SUM, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.ok
+    assert all(r == n * (n + 1) // 2 for r in result.returns)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(n):
+    def app(comm):
+        return comm.gather(comm.rank * 2, root=0, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.returns[0] == [i * 2 for i in range(n)]
+    assert all(r is None for r in result.returns[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    def app(comm):
+        return comm.allgather(f"r{comm.rank}", timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    expected = [f"r{i}" for i in range(n)]
+    assert all(r == expected for r in result.returns)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(n):
+    def app(comm):
+        values = [i * 100 for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(values, root=0, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.returns == [i * 100 for i in range(n)]
+
+
+def test_scatter_wrong_length_rejected():
+    def app(comm):
+        values = [1] if comm.rank == 0 else None
+        return comm.scatter(values, root=0, timeout=2.0)
+
+    result = mpirun(app, 2, timeout=10.0)
+    assert isinstance(result.errors[0], MpiError)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall(n):
+    def app(comm):
+        values = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+        return comm.alltoall(values, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.ok
+    for rank, got in enumerate(result.returns):
+        assert got == [f"{src}->{rank}" for src in range(n)]
+
+
+def test_alltoall_wrong_length_rejected():
+    def app(comm):
+        return comm.alltoall([1], timeout=2.0)
+
+    result = mpirun(app, 2, timeout=10.0)
+    assert isinstance(result.errors[0], MpiError)
+    assert isinstance(result.errors[1], MpiError)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scan_inclusive_prefix(n):
+    def app(comm):
+        return comm.scan(comm.rank + 1, SUM, timeout=10.0)
+
+    result = mpirun(app, n, timeout=20.0)
+    assert result.returns == [sum(range(1, k + 2)) for k in range(n)]
+
+
+def test_consecutive_collectives_do_not_interfere():
+    def app(comm):
+        first = comm.allreduce(1, SUM, timeout=10.0)
+        comm.barrier(timeout=10.0)
+        second = comm.allreduce(comm.rank, MAX, timeout=10.0)
+        third = comm.bcast("x" if comm.rank == 0 else None, root=0, timeout=10.0)
+        return (first, second, third)
+
+    n = 5
+    result = mpirun(app, n, timeout=30.0)
+    assert result.ok
+    assert all(r == (n, n - 1, "x") for r in result.returns)
+
+
+def test_collectives_interleaved_with_p2p():
+    def app(comm):
+        if comm.rank == 0:
+            comm.send("side-channel", dest=1, tag=7)
+        total = comm.allreduce(1, SUM, timeout=10.0)
+        if comm.rank == 1:
+            extra = comm.recv(source=0, tag=7, timeout=10.0)
+            return (total, extra)
+        return (total, None)
+
+    result = mpirun(app, 3, timeout=20.0)
+    assert result.ok
+    assert result.returns[1] == (3, "side-channel")
+
+
+def test_bcast_invalid_root_rejected():
+    def app(comm):
+        return comm.bcast("x", root=5, timeout=2.0)
+
+    result = mpirun(app, 2, timeout=10.0)
+    assert isinstance(result.errors[0], MpiError)

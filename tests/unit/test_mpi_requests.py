@@ -1,0 +1,127 @@
+"""Unit tests for non-blocking request handles and probe semantics."""
+
+import time
+
+import pytest
+
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, Request
+from repro.mpi.launcher import mpirun
+
+
+class TestRequest:
+    def test_test_before_completion(self):
+        request = Request()
+        assert not request.test()
+        request._complete(value=7)
+        assert request.test()
+        assert request.wait() == 7
+
+    def test_wait_timeout(self):
+        request = Request()
+        with pytest.raises(TimeoutError):
+            request.wait(timeout=0.01)
+
+    def test_error_reraised_on_wait(self):
+        request = Request()
+        request._complete(error=ValueError("bad"))
+        with pytest.raises(ValueError, match="bad"):
+            request.wait()
+
+
+class TestNonBlockingOverlap:
+    def test_irecv_posted_before_send_arrives(self):
+        def app(comm):
+            if comm.rank == 1:
+                request = comm.irecv(source=0, tag=3)
+                # Not yet complete: the sender is deliberately slow.
+                early = request.test()
+                value = request.wait(timeout=30.0)
+                return (early, value)
+            time.sleep(0.1)
+            comm.send("late delivery", dest=1, tag=3)
+            return None
+
+        result = mpirun(app, 2, timeout=30.0)
+        assert result.ok
+        early, value = result.returns[1]
+        assert value == "late delivery"
+        assert not early  # genuinely overlapped
+
+    def test_multiple_irecv_by_tag(self):
+        def app(comm):
+            if comm.rank == 0:
+                a = comm.irecv(source=1, tag=1)
+                b = comm.irecv(source=1, tag=2)
+                return (a.wait(timeout=30.0), b.wait(timeout=30.0))
+            comm.send("two", dest=0, tag=2)
+            comm.send("one", dest=0, tag=1)
+            return None
+
+        result = mpirun(app, 2, timeout=30.0)
+        assert result.returns[0] == ("one", "two")
+
+    def test_isend_completes_immediately(self):
+        def app(comm):
+            if comm.rank == 0:
+                request = comm.isend("x", dest=1)
+                done = request.test()
+                request.wait(timeout=5.0)
+                return done
+            return comm.recv(source=0, timeout=30.0)
+
+        result = mpirun(app, 2, timeout=30.0)
+        assert result.returns[0] is True
+        assert result.returns[1] == "x"
+
+    def test_isend_to_invalid_rank_reports_via_request(self):
+        def app(comm):
+            request = comm.isend("x", dest=99)
+            try:
+                request.wait(timeout=5.0)
+            except Exception as exc:
+                return type(exc).__name__
+            return "no error"
+
+        result = mpirun(app, 1, timeout=30.0)
+        assert result.returns[0] == "MpiError"
+
+
+class TestProbeSemantics:
+    def test_probe_wildcards(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send("m", dest=1, tag=5)
+                comm.send("done", dest=1, tag=0)
+                return None
+            comm.recv(source=0, tag=0, timeout=30.0)
+            by_any = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            by_tag = comm.probe(tag=5)
+            by_source = comm.probe(source=0)
+            missing = comm.probe(tag=9)
+            comm.recv(source=0, tag=5, timeout=30.0)
+            return (
+                by_any is not None,
+                by_tag.tag if by_tag else None,
+                by_source.source if by_source else None,
+                missing,
+            )
+
+        result = mpirun(app, 2, timeout=30.0)
+        assert result.returns[1] == (True, 5, 0, None)
+
+    def test_probe_does_not_consume(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send("still here", dest=1, tag=1)
+                return None
+            # Wait for arrival, probing repeatedly.
+            for _ in range(100):
+                if comm.probe(tag=1) is not None:
+                    break
+                time.sleep(0.01)
+            comm.probe(tag=1)
+            comm.probe(tag=1)
+            return comm.recv(source=0, tag=1, timeout=30.0)
+
+        result = mpirun(app, 2, timeout=30.0)
+        assert result.returns[1] == "still here"

@@ -1,0 +1,115 @@
+"""Unit tests for seeded random streams."""
+
+import pytest
+
+from repro.simulation.randomness import RandomStream, derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+
+
+def test_derive_seed_varies_with_label():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_derive_seed_varies_with_root():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(7, "workload")
+    b = RandomStream(7, "workload")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_labels_independent():
+    a = RandomStream(7, "x")
+    b = RandomStream(7, "y")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_child_streams_deterministic():
+    a = RandomStream(7, "root").child("site-0")
+    b = RandomStream(7, "root").child("site-0")
+    assert a.random() == b.random()
+
+
+def test_uniform_in_range():
+    rng = RandomStream(1, "t")
+    for _ in range(100):
+        assert 2.0 <= rng.uniform(2.0, 5.0) <= 5.0
+
+
+def test_randint_in_range():
+    rng = RandomStream(1, "t")
+    for _ in range(100):
+        assert 1 <= rng.randint(1, 6) <= 6
+
+
+def test_exponential_positive_and_mean():
+    rng = RandomStream(1, "t")
+    draws = [rng.exponential(10.0) for _ in range(5000)]
+    assert all(d >= 0 for d in draws)
+    mean = sum(draws) / len(draws)
+    assert mean == pytest.approx(10.0, rel=0.1)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        RandomStream(1, "t").exponential(0.0)
+
+
+def test_pareto_respects_minimum():
+    rng = RandomStream(1, "t")
+    assert all(rng.pareto(2.0, 5.0) >= 5.0 for _ in range(100))
+
+
+def test_pareto_rejects_bad_params():
+    rng = RandomStream(1, "t")
+    with pytest.raises(ValueError):
+        rng.pareto(0.0, 1.0)
+    with pytest.raises(ValueError):
+        rng.pareto(1.0, 0.0)
+
+
+def test_bernoulli_bounds():
+    rng = RandomStream(1, "t")
+    assert all(rng.bernoulli(1.0) for _ in range(10))
+    assert not any(rng.bernoulli(0.0) for _ in range(10))
+    with pytest.raises(ValueError):
+        rng.bernoulli(1.5)
+
+
+def test_zipf_index_in_range_and_skewed():
+    rng = RandomStream(1, "t")
+    draws = [rng.zipf_index(10, skew=1.5) for _ in range(2000)]
+    assert all(0 <= d < 10 for d in draws)
+    # index 0 must be the most popular under Zipf
+    counts = [draws.count(i) for i in range(10)]
+    assert counts[0] == max(counts)
+
+
+def test_zipf_rejects_empty():
+    with pytest.raises(ValueError):
+        RandomStream(1, "t").zipf_index(0)
+
+
+def test_bytes_length():
+    rng = RandomStream(1, "t")
+    assert len(rng.bytes(17)) == 17
+
+
+def test_sample_and_choice():
+    rng = RandomStream(1, "t")
+    items = list(range(10))
+    picked = rng.sample(items, 3)
+    assert len(picked) == 3
+    assert len(set(picked)) == 3
+    assert rng.choice(items) in items
+
+
+def test_weighted_choice_prefers_heavy():
+    rng = RandomStream(1, "t")
+    draws = [rng.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(500)]
+    assert draws.count("a") > draws.count("b")

@@ -1,0 +1,202 @@
+"""Unit tests for node resource models and owner priority."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStream
+from repro.simulation.resources import NodeResources, OwnerActivity
+
+
+def test_idle_node_runs_job_at_full_speed():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=1.0)
+    done = node.submit(cpu_work=10.0)
+    sim.run()
+    assert done.triggered
+    assert done.value == pytest.approx(10.0)
+
+
+def test_faster_node_finishes_sooner():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=2.0)
+    done = node.submit(cpu_work=10.0)
+    sim.run()
+    assert done.value == pytest.approx(5.0)
+
+
+def test_owner_load_slows_grid_job():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=1.0)
+    node.set_owner_load(0.5)
+    done = node.submit(cpu_work=10.0)
+    sim.run()
+    assert done.value == pytest.approx(20.0)
+
+
+def test_owner_load_change_mid_job_retimes():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=1.0)
+    done = node.submit(cpu_work=10.0)
+
+    def owner(sim):
+        yield sim.timeout(5.0)  # job half done
+        node.set_owner_load(0.5)  # remaining 5 units now take 10s
+
+    sim.spawn(owner(sim))
+    sim.run()
+    assert done.value == pytest.approx(15.0)
+
+
+def test_full_owner_load_stalls_job():
+    sim = Simulator()
+    node = NodeResources(sim, "n0")
+    node.set_owner_load(1.0)
+    done = node.submit(cpu_work=1.0)
+
+    def owner(sim):
+        yield sim.timeout(100.0)
+        node.set_owner_load(0.0)
+
+    sim.spawn(owner(sim))
+    sim.run()
+    assert done.value == pytest.approx(101.0)
+
+
+def test_processor_sharing_between_jobs():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=1.0)
+    first = node.submit(cpu_work=10.0)
+    second = node.submit(cpu_work=10.0)
+    sim.run()
+    # Both share the CPU: each finishes at t=20.
+    assert first.value == pytest.approx(20.0)
+    assert second.value == pytest.approx(20.0)
+    assert node.jobs_completed == 2
+
+
+def test_short_job_departure_speeds_up_survivor():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=1.0)
+    short = node.submit(cpu_work=5.0)
+    long = node.submit(cpu_work=10.0)
+    sim.run()
+    # Shared until short finishes at t=10 (5 work at rate 0.5);
+    # long then has 5 work left at full rate: t=15.
+    assert short.value == pytest.approx(10.0)
+    assert long.value == pytest.approx(15.0)
+
+
+def test_zero_work_job_completes_immediately():
+    sim = Simulator()
+    node = NodeResources(sim, "n0")
+    done = node.submit(cpu_work=0.0)
+    sim.run()
+    assert done.triggered
+    assert done.value == pytest.approx(0.0)
+
+
+def test_ram_accounting_and_exhaustion():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", ram_total=100)
+    node.submit(cpu_work=1.0, ram=80)
+    with pytest.raises(MemoryError):
+        node.submit(cpu_work=1.0, ram=30)
+    sim.run()
+    assert node.ram_used == 0  # released on completion
+
+
+def test_disk_allocation():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", disk_total=1000)
+    node.allocate_disk(600)
+    with pytest.raises(OSError):
+        node.allocate_disk(500)
+    node.release_disk(600)
+    node.allocate_disk(1000)
+    with pytest.raises(ValueError):
+        node.release_disk(2000)
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NodeResources(sim, "n0", cpu_speed=0.0)
+    node = NodeResources(sim, "n0")
+    with pytest.raises(ValueError):
+        node.submit(cpu_work=-1.0)
+    with pytest.raises(ValueError):
+        node.submit(cpu_work=1.0, ram=-1)
+    with pytest.raises(ValueError):
+        node.set_owner_load(1.5)
+
+
+def test_snapshot_reflects_state():
+    sim = Simulator()
+    node = NodeResources(sim, "n0", cpu_speed=2.0, ram_total=100, disk_total=50)
+    node.submit(cpu_work=100.0, ram=40)
+    snap = node.snapshot()
+    assert snap.node == "n0"
+    assert snap.cpu_speed == 2.0
+    assert snap.ram_available == 60
+    assert snap.disk_available == 50
+    assert snap.running_jobs == 1
+    assert 0.0 < snap.effective_speed <= 2.0
+
+
+def test_execute_generator_form():
+    sim = Simulator()
+    node = NodeResources(sim, "n0")
+    results = []
+
+    def app(sim):
+        runtime = yield from node.execute(cpu_work=3.0)
+        results.append(runtime)
+
+    sim.spawn(app(sim))
+    sim.run()
+    assert results == [pytest.approx(3.0)]
+
+
+class TestOwnerActivity:
+    def test_duty_cycle(self):
+        rng = RandomStream(1, "owner")
+        owner = OwnerActivity(rng, mean_idle=30.0, mean_busy=10.0)
+        assert owner.duty_cycle() == pytest.approx(0.25)
+
+    def test_invalid_fraction_rejected(self):
+        rng = RandomStream(1, "owner")
+        with pytest.raises(ValueError):
+            OwnerActivity(rng, busy_fraction=1.5)
+
+    def test_activity_toggles_node_load(self):
+        sim = Simulator()
+        rng = RandomStream(42, "owner")
+        node = NodeResources(sim, "n0")
+        owner = OwnerActivity(rng, mean_idle=10.0, mean_busy=10.0, busy_fraction=0.7)
+        sim.spawn(owner.run(node))
+        loads = set()
+
+        def sampler(sim):
+            for _ in range(200):
+                yield sim.timeout(1.0)
+                loads.add(node.owner_load)
+
+        sim.spawn(sampler(sim))
+        sim.run(until=200.0)
+        assert loads == {0.0, 0.7}
+
+    def test_grid_job_slower_under_owner_activity(self):
+        def run_with(mean_busy):
+            sim = Simulator()
+            rng = RandomStream(7, "owner")
+            node = NodeResources(sim, "n0")
+            if mean_busy > 0:
+                owner = OwnerActivity(
+                    rng, mean_idle=5.0, mean_busy=mean_busy, busy_fraction=0.9
+                )
+                sim.spawn(owner.run(node))
+            done = node.submit(cpu_work=50.0)
+            sim.run(until=10_000.0)
+            return done.value
+
+        assert run_with(20.0) > run_with(0.0)

@@ -1,0 +1,193 @@
+"""Edge-case tests for the simulation substrate and composite events."""
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator
+from repro.simulation.network import Network, Packet
+from repro.simulation.randomness import RandomStream
+from repro.simulation.resources import NodeResources
+
+
+class TestCompositeEvents:
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        caught = []
+        gate = sim.event()
+
+        def failer(sim):
+            yield sim.timeout(1.0)
+            gate.fail(OSError("down"))
+
+        def waiter(sim):
+            try:
+                yield sim.all_of([sim.timeout(5.0), gate])
+            except OSError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(waiter(sim))
+        sim.spawn(failer(sim))
+        sim.run()
+        assert caught == ["down"]
+
+    def test_any_of_with_pretriggered_event(self):
+        sim = Simulator()
+        seen = []
+        ready = sim.event()
+        ready.succeed("instant")
+
+        def proc(sim):
+            _winner, value = yield sim.any_of([ready, sim.timeout(10.0)])
+            seen.append((sim.now, value))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert seen == [(0.0, "instant")]
+
+    def test_any_of_requires_events(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_all_of_empty_succeeds_immediately(self):
+        sim = Simulator()
+        seen = []
+
+        def proc(sim):
+            values = yield sim.all_of([])
+            seen.append(values)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert seen == [[]]
+
+    def test_run_while_running_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert errors and "already running" in errors[0]
+
+    def test_event_value_before_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_fail_requires_exception_instance(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+
+class TestNetworkEdges:
+    def test_packet_to_self_delivers_immediately(self):
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("a")
+        got = []
+        host.on_packet(got.append)
+        host.send("a", size=10, payload="loopback")
+        sim.run()
+        assert got[0].payload == "loopback"
+        assert got[0].hops == 0
+
+    def test_unattached_host_cannot_send(self):
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("a")
+        net.remove_host("a")
+        with pytest.raises(RuntimeError, match="not attached"):
+            host.send("a", size=1)
+
+    def test_unknown_destination_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        with pytest.raises(KeyError):
+            net.hosts["a"].send("ghost", size=1)
+
+    def test_loss_rate_validation(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(ValueError):
+            net.connect("a", "b", latency=0.0, bandwidth=1.0, loss_rate=1.0)
+
+    def test_unidirectional_link(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", latency=0.001, bandwidth=1e6, bidirectional=False)
+        assert net.reachable("a", "b")
+        assert not net.reachable("b", "a")
+
+    def test_destination_dies_in_flight(self):
+        """A packet whose destination vanishes mid-route is dropped."""
+        sim = Simulator()
+        net = Network(sim)
+        for name in ["a", "relay", "b"]:
+            net.add_host(name)
+        net.connect("a", "relay", latency=0.010, bandwidth=1e6)
+        net.connect("relay", "b", latency=0.010, bandwidth=1e6)
+        delivered = []
+        net.hosts["b"].on_packet(delivered.append)
+        net.hosts["a"].send("b", size=100)
+
+        def killer(sim):
+            yield sim.timeout(0.005)  # mid first hop
+            net.remove_host("b")
+
+        sim.spawn(killer(sim))
+        sim.run()
+        assert delivered == []
+
+    def test_bandwidth_contention_orders_arrivals(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", latency=0.0, bandwidth=100.0)  # 100 B/s
+        arrivals = []
+        net.hosts["b"].on_packet(lambda p: arrivals.append((sim.now, p.size)))
+        net.hosts["a"].send("b", size=100)  # 1s transmission
+        net.hosts["a"].send("b", size=50)  # queued behind: +0.5s
+        sim.run()
+        assert arrivals[0] == (pytest.approx(1.0), 100)
+        assert arrivals[1] == (pytest.approx(1.5), 50)
+
+
+class TestResourceEdges:
+    def test_many_concurrent_jobs_share_fairly(self):
+        sim = Simulator()
+        node = NodeResources(sim, "n0", cpu_speed=1.0)
+        events = [node.submit(cpu_work=10.0) for _ in range(10)]
+        sim.run()
+        # All ten share the CPU throughout: all complete at t = 100.
+        for event in events:
+            assert event.value == pytest.approx(100.0)
+
+    def test_snapshot_effective_speed_degrades_with_jobs(self):
+        sim = Simulator()
+        node = NodeResources(sim, "n0", cpu_speed=4.0)
+        before = node.snapshot().effective_speed
+        node.submit(cpu_work=1e9)
+        after = node.snapshot().effective_speed
+        assert after < before
+
+    def test_child_stream_independence(self):
+        root = RandomStream(1, "root")
+        a_first = [root.child("a").random() for _ in range(5)]
+        # Drawing from another child must not disturb "a".
+        _ = [root.child("b").random() for _ in range(50)]
+        a_second = [root.child("a").random() for _ in range(5)]
+        assert a_first == a_second

@@ -1,0 +1,114 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.simulation.randomness import RandomStream
+from repro.workloads.generators import (
+    JobStreamSpec,
+    generate_job_stream,
+    master_worker_trace,
+    ring_trace,
+    stencil_trace,
+    synthetic_status,
+    trace_locality,
+)
+
+
+class TestJobStream:
+    def test_deterministic_for_seed(self):
+        spec = JobStreamSpec(count=20)
+        a = generate_job_stream(spec, RandomStream(1, "jobs"))
+        b = generate_job_stream(spec, RandomStream(1, "jobs"))
+        assert [(x.arrival_time, x.job.work) for x in a] == [
+            (x.arrival_time, x.job.work) for x in b
+        ]
+
+    def test_arrivals_monotonic(self):
+        stream = generate_job_stream(JobStreamSpec(count=50), RandomStream(2, "jobs"))
+        times = [a.arrival_time for a in stream]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_work_respects_minimum(self):
+        spec = JobStreamSpec(count=100, work_minimum=5.0)
+        stream = generate_job_stream(spec, RandomStream(3, "jobs"))
+        assert all(a.job.work >= 5.0 for a in stream)
+
+    def test_heavy_tail_present(self):
+        spec = JobStreamSpec(count=500, work_shape=1.2, work_minimum=1.0)
+        stream = generate_job_stream(spec, RandomStream(4, "jobs"))
+        works = sorted(a.job.work for a in stream)
+        # Top decile should dominate the median by a large factor.
+        assert works[-1] > 10 * works[len(works) // 2]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            JobStreamSpec(count=0)
+        with pytest.raises(ValueError):
+            JobStreamSpec(mean_interarrival=0.0)
+
+
+class TestTraces:
+    def test_ring_counts(self):
+        trace = ring_trace(nprocs=4, rounds=3, message_bytes=100)
+        assert len(trace) == 12
+        assert trace.total_bytes == 1200
+        assert all(dst == (src + 1) % 4 for src, dst, _ in trace.messages)
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            ring_trace(0, 1, 1)
+
+    def test_master_worker_shape(self):
+        trace = master_worker_trace(nprocs=4, tasks=6, request_bytes=10, result_bytes=90)
+        assert len(trace) == 12
+        requests = [m for m in trace.messages if m[0] == 0]
+        replies = [m for m in trace.messages if m[1] == 0]
+        assert len(requests) == len(replies) == 6
+        assert {m[1] for m in requests} == {1, 2, 3}  # round-robin workers
+
+    def test_master_worker_needs_workers(self):
+        with pytest.raises(ValueError):
+            master_worker_trace(1, 1, 1, 1)
+
+    def test_stencil_neighbours_only(self):
+        trace = stencil_trace(side=3, iterations=1, halo_bytes=8)
+        for src, dst, _ in trace.messages:
+            sr, sc = divmod(src, 3)
+            dr, dc = divmod(dst, 3)
+            assert abs(sr - dr) + abs(sc - dc) == 1
+
+    def test_stencil_interior_has_four_neighbours(self):
+        trace = stencil_trace(side=3, iterations=1, halo_bytes=8)
+        centre_sends = [m for m in trace.messages if m[0] == 4]
+        assert len(centre_sends) == 4
+
+    def test_locality_contiguous_vs_strided(self):
+        trace = ring_trace(nprocs=8, rounds=1, message_bytes=1)
+        contiguous = {r: ("A" if r < 4 else "B") for r in range(8)}
+        strided = {r: ("A" if r % 2 == 0 else "B") for r in range(8)}
+        assert trace_locality(trace, contiguous) == pytest.approx(6 / 8)
+        assert trace_locality(trace, strided) == 0.0
+
+    def test_locality_single_site_is_one(self):
+        trace = ring_trace(nprocs=4, rounds=1, message_bytes=1)
+        assert trace_locality(trace, {r: "A" for r in range(4)}) == 1.0
+
+
+class TestSyntheticStatus:
+    def test_shape(self):
+        status = synthetic_status(3, 5, RandomStream(1, "status"))
+        assert sorted(status) == ["site0", "site1", "site2"]
+        assert all(len(entries) == 5 for entries in status.values())
+        entry = status["site0"][0]
+        assert {"node", "site", "cpu_speed", "ram_free", "disk_free",
+                "running_tasks", "alive"} <= set(entry)
+
+    def test_deterministic(self):
+        a = synthetic_status(2, 3, RandomStream(7, "status"))
+        b = synthetic_status(2, 3, RandomStream(7, "status"))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_status(0, 1, RandomStream(1, "s"))
