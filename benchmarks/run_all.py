@@ -1,10 +1,15 @@
 """Run every experiment and print its table (no pytest needed).
 
-Usage:  python benchmarks/run_all.py [e4 e6 ...]
+Usage:  python benchmarks/run_all.py [--quick] [e4 e6 fastpath ...]
 
 Each experiment module exposes ``run_experiment`` (plus shape checks);
 this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
+
+``--quick`` runs a smoke pass: experiments that support it (currently
+``fastpath``) shrink their workloads so the whole sweep finishes in
+seconds — useful for CI and for checking nothing is broken before a
+full measurement run.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import time
 from benchmarks.common import format_table
 
 
-def main(selected: list[str]) -> int:
+def main(argv: list[str]) -> int:
     import benchmarks.bench_e1_topology as e1
     import benchmarks.bench_e2_layers as e2
     import benchmarks.bench_e3_mpi_paths as e3
@@ -28,6 +33,10 @@ def main(selected: list[str]) -> int:
     import benchmarks.bench_e10_multiproxy as e10
     import benchmarks.bench_e11_isolation as e11
     import benchmarks.bench_e12_owner_priority as e12
+    import benchmarks.bench_fastpath as fastpath
+
+    quick = "--quick" in argv
+    selected = [a for a in argv if a != "--quick"]
 
     experiments = {
         "e1": lambda: [("E1 (Fig. 1): grid construction", e1.run_experiment())],
@@ -53,6 +62,13 @@ def main(selected: list[str]) -> int:
         "e10": lambda: [("E10: proxies per site", e10.run_experiment())],
         "e11": lambda: [("E11: crash isolation", e11.run_experiment())],
         "e12": lambda: [("E12: owner priority", e12.run_experiment())],
+        "fastpath": lambda: (
+            lambda report: [
+                ("Fastpath: record cipher seal+open", report["cipher"]),
+                ("Fastpath: frame codec decode", report["codec"]),
+                ("Fastpath: tunnel end-to-end", report["tunnel"]),
+            ]
+        )(fastpath.run_experiment(quick=quick)),
     }
     wanted = selected or list(experiments)
     for name in wanted:

@@ -174,6 +174,27 @@ class Tunnel:
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
 
+    def send_many(self, frames) -> None:
+        """Send a burst of frames, coalescing records into one socket write.
+
+        Control chatter and multiplexed MPI traffic (heartbeats,
+        virtual-slave bursts) sent together share a single syscall; each
+        frame keeps its own record so the wire format is unchanged.
+        """
+        frames = list(frames)
+        if not frames:
+            return
+        if not self.alive:
+            raise TunnelError(
+                f"tunnel {self.local_name}->{self.peer_name} is down"
+            )
+        try:
+            with self._send_lock:
+                self._secure.send_many(frames)
+        except TransportError as exc:
+            self.close()
+            raise TunnelError(f"tunnel send failed: {exc}") from exc
+
     @property
     def alive(self) -> bool:
         return not self._closed.is_set() and not self._secure.closed
@@ -187,6 +208,11 @@ class Tunnel:
     def stats(self):
         """Traffic accounting from the secure channel (record bytes)."""
         return self._secure.stats
+
+    @property
+    def cipher_suite(self) -> str:
+        """The record-cipher suite negotiated for this tunnel."""
+        return self._secure.suite
 
     def close(self) -> None:
         self._running.clear()

@@ -39,7 +39,7 @@ from typing import Callable, Optional
 
 from repro.security.ca import CertificationAuthority
 from repro.security.certs import Certificate, CertificateError
-from repro.security.cipher import RecordCipher, derive_session_keys
+from repro.security.cipher import CIPHER_SUITES, RecordCipher, derive_session_keys
 from repro.security.dh import DiffieHellman
 from repro.security.rsa import RsaKeyPair, RsaPublicKey
 from repro.transport.channel import Channel
@@ -62,6 +62,20 @@ __all__ = [
 ]
 
 _MODES = ("dh", "rsa")
+_LEGACY_SUITE = "sha256ctr"  # what a pre-fast-path peer speaks
+
+
+def _choose_suite(offered) -> str:
+    """Pick the best mutually-supported record suite, like TLS does.
+
+    A peer that offers nothing (any pre-fast-path build) gets the
+    original SHA-256 counter-mode suite, whose records are byte-for-byte
+    what that peer produces and expects.
+    """
+    for suite in CIPHER_SUITES:
+        if suite in offered:
+            return suite
+    return _LEGACY_SUITE
 
 
 class HandshakeError(Exception):
@@ -114,6 +128,27 @@ class SecureChannel(Channel):
         self._inner.send(carrier)
         self.stats.on_send(len(record))
 
+    def send_many(self, frames) -> None:
+        """Seal a burst of frames and hand the records down as one batch.
+
+        Each frame still becomes its own record (the wire format is
+        unchanged, so a pre-fast-path peer interoperates); the win is that
+        the inner transport writes all carriers with one vectored syscall.
+        """
+        carriers = []
+        sizes = []
+        for frame in frames:
+            record = self._send_cipher.seal(encode_frame(frame))
+            carriers.append(
+                Frame(kind=FrameKind.DATA, channel=frame.channel, payload=record)
+            )
+            sizes.append(len(record))
+        if not carriers:
+            return
+        self._inner.send_many(carriers)
+        for size in sizes:
+            self.stats.on_send(size)
+
     def recv(self, timeout: Optional[float] = None) -> Frame:
         carrier = self._inner.recv(timeout=timeout)
         try:
@@ -130,6 +165,11 @@ class SecureChannel(Channel):
     @property
     def closed(self) -> bool:
         return self._inner.closed
+
+    @property
+    def suite(self) -> str:
+        """The record-cipher suite the handshake negotiated."""
+        return self._send_cipher.suite
 
 
 # ---------------------------------------------------------------------------
@@ -236,13 +276,28 @@ def _connect_secure(
     if mode not in _MODES:
         raise HandshakeError(f"unknown key-exchange mode: {mode!r}")
     client_random = secrets.token_bytes(32)
-    channel.send(_hs_frame("hello", {"random": client_random, "modes": list(_MODES), "preferred": mode}))
+    channel.send(
+        _hs_frame(
+            "hello",
+            {
+                "random": client_random,
+                "modes": list(_MODES),
+                "preferred": mode,
+                # Record-suite offer; pre-fast-path servers ignore this key
+                # and reply without "cipher", selecting the legacy suite.
+                "ciphers": list(CIPHER_SUITES),
+            },
+        )
+    )
 
     server_hello = _expect(channel, "hello", timeout)
     server_random = server_hello["random"]
     chosen = server_hello["mode"]
     if chosen not in _MODES:
         raise HandshakeError(f"server chose unknown mode: {chosen!r}")
+    suite = server_hello.get("cipher", _LEGACY_SUITE)
+    if suite not in CIPHER_SUITES:
+        raise HandshakeError(f"server chose unknown cipher suite: {suite!r}")
     server_cert = _validate_peer_cert(
         server_hello["certificate"], trust_anchor, clock(), expected_peer_role
     )
@@ -298,8 +353,8 @@ def _connect_secure(
 
     return SecureChannel(
         inner=channel,
-        send_cipher=RecordCipher(client_keys),
-        recv_cipher=RecordCipher(server_keys),
+        send_cipher=RecordCipher(client_keys, suite=suite),
+        recv_cipher=RecordCipher(server_keys, suite=suite),
         peer=PeerIdentity(server_cert),
         name=f"secure:{certificate.subject}->{server_cert.subject}",
     )
@@ -353,12 +408,19 @@ def _accept_secure(
     offered = hello.get("modes", [])
     preferred = hello.get("preferred", "dh")
     mode = preferred if preferred in _MODES and preferred in offered else "dh"
+    offered_suites = hello.get("ciphers", ())
+    if not isinstance(offered_suites, (list, tuple)):
+        raise HandshakeError("malformed cipher-suite offer")
+    suite = _choose_suite(offered_suites)
 
     server_random = secrets.token_bytes(32)
     response: dict = {
         "random": server_random,
         "mode": mode,
         "certificate": certificate.to_bytes(),
+        # Pre-fast-path clients ignore this key; they always speak the
+        # legacy suite, which _choose_suite selected for them above.
+        "cipher": suite,
     }
     dh: Optional[DiffieHellman] = None
     if mode == "dh":
@@ -415,8 +477,8 @@ def _accept_secure(
 
     return SecureChannel(
         inner=channel,
-        send_cipher=RecordCipher(server_keys),
-        recv_cipher=RecordCipher(client_keys),
+        send_cipher=RecordCipher(server_keys, suite=suite),
+        recv_cipher=RecordCipher(client_keys, suite=suite),
         peer=PeerIdentity(client_cert),
         name=f"secure:{certificate.subject}->{client_cert.subject}",
     )

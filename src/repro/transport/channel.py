@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.transport.frames import Frame
 
@@ -50,6 +50,16 @@ class Channel(abc.ABC):
     @abc.abstractmethod
     def send(self, frame: Frame) -> None:
         """Send one frame.  Raises ChannelClosed if the pipe is down."""
+
+    def send_many(self, frames: Iterable[Frame]) -> None:
+        """Send a burst of frames in order.
+
+        Transports that can coalesce writes (TCP vectored I/O, sealed
+        record batches) override this so a burst shares one syscall; the
+        default is a plain loop with identical semantics.
+        """
+        for frame in frames:
+            self.send(frame)
 
     @abc.abstractmethod
     def recv(self, timeout: Optional[float] = None) -> Frame:

@@ -38,9 +38,11 @@ __all__ = [
     "FrameDecoder",
     "FrameKind",
     "MAX_FRAME_PAYLOAD",
+    "MAX_FRAME_WIRE_SIZE",
     "decode_frame",
     "decode_value",
     "encode_frame",
+    "encode_frame_views",
     "encode_value",
 ]
 
@@ -54,6 +56,11 @@ MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
 _MAX_HEADER = 1 * 1024 * 1024
 _MAX_DEPTH = 32
 _MAX_CONTAINER = 1_000_000
+
+#: Largest possible encoded frame: fixed prefix + max header blob + max
+#: payload.  Layers wrapping whole frames (the record cipher) use this to
+#: bound hostile length fields before doing any work.
+MAX_FRAME_WIRE_SIZE = _HEADER_STRUCT.size + _MAX_HEADER + MAX_FRAME_PAYLOAD
 
 
 class FrameKind(enum.IntEnum):
@@ -153,9 +160,12 @@ def decode_value(data: bytes) -> Any:
 
 
 def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+    # Hot path: called once per header value per frame, so length reads and
+    # bounds checks are inlined rather than delegated.
+    size = len(data)
     if depth > _MAX_DEPTH:
         raise CodecError(f"value nesting exceeds {_MAX_DEPTH}")
-    if offset >= len(data):
+    if offset >= size:
         raise CodecError("truncated value")
     tag = data[offset]
     offset += 1
@@ -167,25 +177,35 @@ def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
         return False, offset
     if tag == _T_FLOAT:
         end = offset + _F64.size
-        _check_bounds(data, end)
+        if end > size:
+            raise CodecError("truncated value")
         return _F64.unpack_from(data, offset)[0], end
     if tag == _T_INT:
-        length, offset = _read_length(data, offset)
-        end = offset + length
-        _check_bounds(data, end)
+        if offset + 4 > size:
+            raise CodecError("truncated value")
+        end = offset + 4 + _U32.unpack_from(data, offset)[0]
+        offset += 4
+        if end > size:
+            raise CodecError("truncated value")
         return int.from_bytes(data[offset:end], "big", signed=True), end
     if tag == _T_STR:
-        length, offset = _read_length(data, offset)
-        end = offset + length
-        _check_bounds(data, end)
+        if offset + 4 > size:
+            raise CodecError("truncated value")
+        end = offset + 4 + _U32.unpack_from(data, offset)[0]
+        offset += 4
+        if end > size:
+            raise CodecError("truncated value")
         try:
             return data[offset:end].decode("utf-8"), end
         except UnicodeDecodeError as exc:
             raise CodecError(f"invalid utf-8 in string: {exc}") from exc
     if tag == _T_BYTES:
-        length, offset = _read_length(data, offset)
-        end = offset + length
-        _check_bounds(data, end)
+        if offset + 4 > size:
+            raise CodecError("truncated value")
+        end = offset + 4 + _U32.unpack_from(data, offset)[0]
+        offset += 4
+        if end > size:
+            raise CodecError("truncated value")
         return data[offset:end], end
     if tag in (_T_LIST, _T_TUPLE):
         count, offset = _read_length(data, offset)
@@ -248,11 +268,17 @@ class Frame:
 
     def wire_size(self) -> int:
         """Bytes this frame occupies on the wire."""
-        return len(encode_frame(self))
+        return sum(len(view) for view in encode_frame_views(self))
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialise a frame to its wire representation."""
+def encode_frame_views(frame: Frame) -> list[bytes]:
+    """Serialise a frame to an iovec-style list of buffers.
+
+    The concatenation of the views is the wire representation; the payload
+    rides as-is (zero-copy) so vectored socket writes never duplicate large
+    bodies.  :func:`encode_frame` joins the views for callers that need one
+    contiguous blob.
+    """
     header_blob = encode_value(frame.headers)
     if len(header_blob) > _MAX_HEADER:
         raise FrameError(f"header blob too large: {len(header_blob)}")
@@ -266,7 +292,12 @@ def encode_frame(frame: Frame) -> bytes:
         len(header_blob),
         len(frame.payload),
     )
-    return prefix + header_blob + frame.payload
+    return [prefix + header_blob, frame.payload]
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise a frame to its wire representation."""
+    return b"".join(encode_frame_views(frame))
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -279,14 +310,19 @@ def decode_frame(data: bytes) -> Frame:
     return frame
 
 
-def _decode_frame_prefix(data: bytes) -> tuple[Optional[Frame], int]:
-    """Try to decode a frame from the start of ``data``.
+def _decode_frame_at(data, offset: int) -> tuple[Optional[Frame], int]:
+    """Try to decode a frame starting at ``offset`` in ``data``.
 
-    Returns (frame, bytes_consumed) or (None, 0) when more bytes are needed.
+    ``data`` may be bytes or bytearray; nothing before ``offset`` is touched
+    or copied.  Returns (frame, bytes_consumed_from_offset) or (None, 0)
+    when more bytes are needed.
     """
-    if len(data) < _HEADER_STRUCT.size:
+    available = len(data) - offset
+    if available < _HEADER_STRUCT.size:
         return None, 0
-    magic, version, kind_raw, channel, hlen, plen = _HEADER_STRUCT.unpack_from(data, 0)
+    magic, version, kind_raw, channel, hlen, plen = _HEADER_STRUCT.unpack_from(
+        data, offset
+    )
     if magic != _MAGIC:
         raise FrameError(f"bad magic: {magic!r}")
     if version != _VERSION:
@@ -300,14 +336,36 @@ def _decode_frame_prefix(data: bytes) -> tuple[Optional[Frame], int]:
     except ValueError as exc:
         raise FrameError(f"unknown frame kind: {kind_raw}") from exc
     total = _HEADER_STRUCT.size + hlen + plen
-    if len(data) < total:
+    if available < total:
         return None, 0
-    header_blob = data[_HEADER_STRUCT.size : _HEADER_STRUCT.size + hlen]
-    payload = data[_HEADER_STRUCT.size + hlen : total]
+    body_start = offset + _HEADER_STRUCT.size
+    if isinstance(data, bytes):
+        header_blob = data[body_start : body_start + hlen]
+        payload = data[body_start + hlen : offset + total]
+    else:
+        # One copy per field (a plain bytearray slice would copy twice).
+        view = memoryview(data)
+        header_blob = bytes(view[body_start : body_start + hlen])
+        payload = bytes(view[body_start + hlen : offset + total])
+        view.release()
     headers = decode_value(header_blob)
     if not isinstance(headers, dict):
         raise FrameError("frame headers are not a dict")
     return Frame(kind=kind, channel=channel, headers=headers, payload=payload), total
+
+
+def _decode_frame_prefix(data: bytes) -> tuple[Optional[Frame], int]:
+    """Try to decode a frame from the start of ``data``.
+
+    Returns (frame, bytes_consumed) or (None, 0) when more bytes are needed.
+    """
+    return _decode_frame_at(data, 0)
+
+
+#: Consumed prefix beyond which the decoder buffer is compacted eagerly;
+#: below it, compaction waits until the buffer fully drains (the common
+#: case), so steady-state decoding never memmoves the tail per frame.
+_COMPACT_THRESHOLD = 256 * 1024
 
 
 class FrameDecoder:
@@ -316,16 +374,35 @@ class FrameDecoder:
     Feed arbitrary chunks with :meth:`feed`; iterate complete frames off
     the decoder.  Corrupt input raises :class:`FrameError` and poisons the
     decoder (a stream with a framing error cannot be resynchronised).
+
+    Internally the buffer keeps a consumed offset instead of re-slicing
+    per frame, so reassembly cost is linear in bytes received even under
+    one-byte TCP reads; consumed space is reclaimed lazily.
     """
 
     def __init__(self):
         self._buffer = bytearray()
+        self._offset = 0  # bytes of self._buffer already decoded
         self._poisoned = False
+        #: wire size of the frame most recently returned by next_frame
+        self.last_frame_wire_size = 0
 
     def feed(self, chunk: bytes) -> None:
         if self._poisoned:
             raise FrameError("decoder poisoned by earlier framing error")
+        self._compact()
         self._buffer += chunk
+
+    def _compact(self) -> None:
+        offset = self._offset
+        if not offset:
+            return
+        if offset >= len(self._buffer):
+            self._buffer.clear()
+            self._offset = 0
+        elif offset >= _COMPACT_THRESHOLD:
+            del self._buffer[:offset]
+            self._offset = 0
 
     def __iter__(self) -> Iterator[Frame]:
         return self
@@ -341,15 +418,18 @@ class FrameDecoder:
         if self._poisoned:
             raise FrameError("decoder poisoned by earlier framing error")
         try:
-            frame, consumed = _decode_frame_prefix(bytes(self._buffer))
+            frame, consumed = _decode_frame_at(self._buffer, self._offset)
         except FrameError:
             self._poisoned = True
             raise
         if frame is None:
             return None
-        del self._buffer[:consumed]
+        self._offset += consumed
+        self.last_frame_wire_size = consumed
+        self._compact()
         return frame
 
     @property
     def pending_bytes(self) -> int:
-        return len(self._buffer)
+        """Bytes fed but not yet decoded into a returned frame."""
+        return len(self._buffer) - self._offset

@@ -87,3 +87,54 @@ def test_decoder_reassembles_any_fragmentation(frames_spec, chunk_size):
         assert got.kind == want.kind
         assert got.payload == want.payload
     assert decoder.pending_bytes == 0
+
+
+def _drain_in_chunks(blob, chunk_sizes):
+    """Feed ``blob`` to a fresh decoder in the given chunk sizes."""
+    decoder = FrameDecoder()
+    out = []
+    pos = 0
+    i = 0
+    while pos < len(blob):
+        size = chunk_sizes[i % len(chunk_sizes)]
+        decoder.feed(blob[pos : pos + size])
+        out.extend(decoder)
+        pos += size
+        i += 1
+    assert decoder.pending_bytes == 0
+    return out
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(FrameKind)),
+            st.dictionaries(st.text(max_size=8), scalars, max_size=4),
+            st.binary(max_size=300),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.lists(st.integers(min_value=1, max_value=97), min_size=1, max_size=8),
+)
+def test_chunking_is_invisible(frames_spec, random_chunks):
+    """The decoder is a pure function of the byte stream: feeding the same
+    stream byte-wise, in 7-byte slices, or in arbitrary random slices must
+    yield identical frames.  This is exactly the guarantee the zero-copy
+    offset buffer must preserve."""
+    frames = [Frame(kind=k, headers=h, payload=p) for k, h, p in frames_spec]
+    blob = b"".join(encode_frame(f) for f in frames)
+    runs = [
+        _drain_in_chunks(blob, [1]),
+        _drain_in_chunks(blob, [7]),
+        _drain_in_chunks(blob, random_chunks),
+    ]
+    for out in runs:
+        assert len(out) == len(frames)
+    for a, b, c in zip(*runs):
+        for got in (b, c):
+            assert got.kind == a.kind
+            assert got.channel == a.channel
+            assert got.headers == a.headers
+            assert got.payload == a.payload

@@ -142,6 +142,72 @@ class TestTunnel:
         a.close()
         b.close()
 
+    def test_negotiates_fast_cipher_suite(self, pki):
+        # Two post-fast-path peers agree on the best suite in CIPHER_SUITES.
+        a, b = make_tunnel_pair(pki)
+        assert a.cipher_suite == "shake128"
+        assert b.cipher_suite == "shake128"
+        a.close()
+        b.close()
+
+    def test_legacy_peer_falls_back_to_compatible_suite(self, pki, monkeypatch):
+        # A pre-fast-path client sends no "ciphers" offer; the server must
+        # select the seed-compatible suite and still interoperate.
+        from repro.security import handshake as hs
+
+        original = hs._hs_frame
+
+        def strip_offer(step, body):
+            if step == "hello":
+                body = {k: v for k, v in body.items() if k != "ciphers"}
+            return original(step, body)
+
+        monkeypatch.setattr(hs, "_hs_frame", strip_offer)
+        a, b = make_tunnel_pair(pki)
+        assert a.cipher_suite == "sha256ctr"
+        assert b.cipher_suite == "sha256ctr"
+        got = threading.Event()
+        seen = []
+        b.on_frame(FrameKind.CONTROL, lambda f: (seen.append(f), got.set()))
+        b.start()
+        a.send(Frame(kind=FrameKind.CONTROL, headers={"legacy": True}))
+        assert got.wait(timeout=5.0)
+        assert seen[0].headers == {"legacy": True}
+        a.close()
+        b.close()
+
+    def test_send_many_delivers_batch_in_order(self, pki):
+        a, b = make_tunnel_pair(pki)
+        seen = []
+        done = threading.Event()
+
+        def on_mpi(frame):
+            seen.append(frame.headers["seq"])
+            if len(seen) == 40:
+                done.set()
+
+        b.on_frame(FrameKind.MPI, on_mpi)
+        b.start()
+        a.send_many(
+            Frame(kind=FrameKind.MPI, headers={"seq": i}, payload=b"p" * i)
+            for i in range(40)
+        )
+        assert done.wait(timeout=5.0)
+        assert seen == list(range(40))
+        assert a.stats.frames_sent == 40
+        a.close()
+        b.close()
+
+    def test_send_many_on_dead_tunnel_raises(self, pki):
+        a, b = make_tunnel_pair(pki)
+        b.close()
+        time.sleep(0.05)
+        with pytest.raises(TunnelError):
+            for _ in range(100):  # close propagation may take one send
+                a.send_many([Frame(kind=FrameKind.CONTROL)])
+                time.sleep(0.01)
+        a.close()
+
 
 class TestVirtualSlaves:
     def make_space(self):

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.security.cipher import (
+    CIPHER_SUITES,
+    MAX_RECORD_BODY,
     CipherError,
     RecordCipher,
     SessionKeys,
@@ -244,3 +246,82 @@ class TestRecordCipher:
         sender, _ = self.make_pair()
         assert len(sender.seal(b"")) == RecordCipher.overhead()
         assert len(sender.seal(b"xyz")) == RecordCipher.overhead() + 3
+
+
+# Sizes around the 32-byte keystream block boundary, where chunked
+# generation and truncation bugs hide, plus larger multi-chunk bodies.
+EDGE_SIZES = [0, 1, 31, 32, 33, 63, 64, 65, 1000, 4096, 65537]
+
+
+class TestRecordCipherSuites:
+    """Every negotiable suite must provide the same record contract."""
+
+    @staticmethod
+    def make_pair(suite):
+        keys = derive_session_keys(random_master_secret(), "client")
+        return RecordCipher(keys, suite=suite), RecordCipher(keys, suite=suite)
+
+    def test_unknown_suite_rejected(self):
+        keys = derive_session_keys(random_master_secret(), "client")
+        with pytest.raises(CipherError, match="unknown cipher suite"):
+            RecordCipher(keys, suite="rot13")
+
+    def test_legacy_suite_is_the_default(self):
+        keys = derive_session_keys(random_master_secret(), "client")
+        assert RecordCipher(keys).suite == "sha256ctr"
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    @pytest.mark.parametrize("size", EDGE_SIZES)
+    def test_round_trip_at_block_boundaries(self, suite, size):
+        sender, receiver = self.make_pair(suite)
+        plaintext = bytes(i & 0xFF for i in range(size))
+        record = sender.seal(plaintext)
+        assert len(record) == RecordCipher.overhead() + size
+        assert receiver.open(record) == plaintext
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    def test_suites_share_wire_layout(self, suite):
+        sender, _ = self.make_pair(suite)
+        record = sender.seal(b"payload")
+        assert record[:8] == (0).to_bytes(8, "big")
+        assert len(record) == RecordCipher.overhead() + len(b"payload")
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    @pytest.mark.parametrize(
+        "offset",
+        [0, 7, 8, 39, 40, -1],
+        ids=["seq-first", "seq-last", "mac-first", "mac-last", "body-first", "body-last"],
+    )
+    def test_any_flipped_bit_rejected(self, suite, offset):
+        sender, receiver = self.make_pair(suite)
+        record = bytearray(sender.seal(b"integrity matters"))
+        record[offset] ^= 0x01
+        with pytest.raises(CipherError):
+            receiver.open(bytes(record))
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    def test_sequence_gap_accepted(self, suite):
+        # A receiver must tolerate dropped records: sequence numbers only
+        # need to increase, not be contiguous.
+        sender, receiver = self.make_pair(suite)
+        records = [sender.seal(str(i).encode()) for i in range(5)]
+        assert receiver.open(records[0]) == b"0"
+        assert receiver.open(records[4]) == b"4"
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    def test_replay_rejected(self, suite):
+        sender, receiver = self.make_pair(suite)
+        record = sender.seal(b"once only")
+        receiver.open(record)
+        with pytest.raises(CipherError, match="replayed"):
+            receiver.open(record)
+
+    @pytest.mark.parametrize("suite", CIPHER_SUITES)
+    def test_oversized_body_rejected_before_mac(self, suite):
+        sender, receiver = self.make_pair(suite)
+        bogus = bytes(40) + b"\x00" * (MAX_RECORD_BODY + 1)
+        with pytest.raises(CipherError, match="too large"):
+            receiver.open(bogus)
+        # The rejection must not poison the receive state: a legitimate
+        # record still opens afterwards.
+        assert receiver.open(sender.seal(b"still fine")) == b"still fine"
