@@ -7,17 +7,66 @@ this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
 
 ``--quick`` runs a smoke pass: experiments that support it (currently
-``fastpath``) shrink their workloads so the whole sweep finishes in
-seconds — useful for CI and for checking nothing is broken before a
-full measurement run.
+``fastpath`` and ``tests``) shrink their workloads so the whole sweep
+finishes in seconds — useful for CI and for checking nothing is broken
+before a full measurement run.
+
+The ``tests`` profile runs the pytest suite in stages (it is not listed
+in the default sweep; ask for it by name).  ``--quick`` limits it to
+unit + property tests; the full profile adds integration and the chaos
+resilience suite (``-m chaos``), and — when ``pytest-cov`` happens to be
+installed — enforces the coverage gate ``--cov=repro
+--cov-fail-under=80`` on the tier-1 stage.  Without ``pytest-cov`` the
+gate is skipped, never failed.
 """
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import subprocess
 import sys
 import time
 
 from benchmarks.common import format_table
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_test_profile(quick: bool) -> list[dict]:
+    """Run the pytest suite in stages; one table row per stage."""
+    if quick:
+        stages = [("unit+property", ["tests/unit", "tests/property"])]
+    else:
+        stages = [
+            ("tier-1 (full default run)", ["tests"]),
+            ("chaos resilience", ["-m", "chaos", "tests/chaos"]),
+        ]
+    has_cov = importlib.util.find_spec("pytest_cov") is not None
+    env = dict(os.environ)
+    src = os.path.join(_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    rows = []
+    for name, args in stages:
+        cmd = [sys.executable, "-m", "pytest", "-q", *args]
+        gated = not quick and has_cov and name.startswith("tier-1")
+        if gated:
+            cmd += ["--cov=repro", "--cov-fail-under=80"]
+        start = time.perf_counter()
+        result = subprocess.run(cmd, cwd=_ROOT, env=env)
+        rows.append(
+            {
+                "stage": name,
+                "coverage gate": "on" if gated else "off (pytest-cov absent)"
+                if not quick else "off (quick)",
+                "outcome": "passed" if result.returncode == 0 else
+                f"FAILED (rc={result.returncode})",
+                "seconds": round(time.perf_counter() - start, 1),
+            }
+        )
+    return rows
 
 
 def main(argv: list[str]) -> int:
@@ -69,8 +118,13 @@ def main(argv: list[str]) -> int:
                 ("Fastpath: tunnel end-to-end", report["tunnel"]),
             ]
         )(fastpath.run_experiment(quick=quick)),
+        "tests": lambda: [
+            ("Test profile " + ("(quick)" if quick else "(full)"),
+             run_test_profile(quick)),
+        ],
     }
-    wanted = selected or list(experiments)
+    wanted = selected or [name for name in experiments if name != "tests"]
+    exit_code = 0
     for name in wanted:
         if name not in experiments:
             print(f"unknown experiment: {name!r} (know {sorted(experiments)})")
@@ -78,8 +132,10 @@ def main(argv: list[str]) -> int:
         start = time.perf_counter()
         for title, rows in experiments[name]():
             print(format_table(title, rows))
+            if any("FAILED" in str(value) for row in rows for value in row.values()):
+                exit_code = 1
         print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

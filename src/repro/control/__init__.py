@@ -14,6 +14,9 @@ sites' data."
   site-level recovery bookkeeping;
 * :mod:`repro.control.info` — the resource-location service (find nodes
   matching capability constraints);
+* :mod:`repro.control.retry` — the stack-wide retry/timeout/backoff
+  policy (exponential backoff with jitter, deadline budgets, idempotency
+  guards) used by tunnels, proxy control calls and MPI forwarding;
 * :mod:`repro.control.api` — the Grid API: station-state queries
   (RAM / CPU / HD availability) and grid summaries for the UIs.
 """
@@ -22,6 +25,7 @@ from repro.control.accounting import CreditPolicy, UsageLedger, UsageRecord
 from repro.control.api import GridApi
 from repro.control.failure import FailureDetector, PeerState
 from repro.control.info import ResourceLocator, ResourceQuery
+from repro.control.retry import Deadline, RetryError, RetryPolicy
 from repro.control.monitor import GlobalStatusCompiler, SiteStatusCache, StatusRecord
 from repro.control.scheduler import (
     Job,
@@ -33,6 +37,7 @@ from repro.control.scheduler import (
 
 __all__ = [
     "CreditPolicy",
+    "Deadline",
     "FailureDetector",
     "GlobalStatusCompiler",
     "GridApi",
@@ -42,6 +47,8 @@ __all__ = [
     "PeerState",
     "ResourceLocator",
     "ResourceQuery",
+    "RetryError",
+    "RetryPolicy",
     "RoundRobinScheduler",
     "Scheduler",
     "SiteStatusCache",

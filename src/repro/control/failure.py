@@ -7,11 +7,19 @@ mechanism — per-peer last-heard timestamps, a suspicion timeout, and
 callbacks on suspect/recover transitions.  It is clock-injected so the
 live runtime drives it with wall time and experiment E7 with simulated
 time.
+
+Transition callbacks fire **exactly once per transition**: state changes
+are decided under a lock (the live runtime calls ``heard_from`` from
+receiver threads while ``check`` runs on a monitor thread, and the
+unlocked implementation could double-fire a callback when both observed
+the same stale state), and callbacks run outside the lock so they may
+re-enter the detector.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -56,6 +64,7 @@ class FailureDetector:
         self.suspect_after = suspect_after
         self.dead_after = dead_after
         self._peers: dict[str, PeerHealth] = {}
+        self._lock = threading.Lock()
         self.on_suspect: list[Callable[[str], None]] = []
         self.on_dead: list[Callable[[str], None]] = []
         self.on_recover: list[Callable[[str], None]] = []
@@ -64,24 +73,47 @@ class FailureDetector:
 
     def watch(self, peer: str) -> None:
         """Start monitoring a peer (counts as hearing from it now)."""
-        self._peers[peer] = PeerHealth(
-            peer=peer, state=PeerState.ALIVE, last_heard=self.clock()
-        )
+        with self._lock:
+            self._peers[peer] = PeerHealth(
+                peer=peer, state=PeerState.ALIVE, last_heard=self.clock()
+            )
 
     def unwatch(self, peer: str) -> None:
-        self._peers.pop(peer, None)
+        with self._lock:
+            self._peers.pop(peer, None)
 
     def heard_from(self, peer: str) -> None:
         """Record a heartbeat or any authenticated traffic from ``peer``."""
-        health = self._peers.get(peer)
-        if health is None:
-            self.watch(peer)
-            return
-        health.last_heard = self.clock()
-        if health.state is not PeerState.ALIVE:
-            health.state = PeerState.ALIVE
-            health.suspected_at = None
+        recovered = False
+        with self._lock:
+            health = self._peers.get(peer)
+            if health is None:
+                self._peers[peer] = PeerHealth(
+                    peer=peer, state=PeerState.ALIVE, last_heard=self.clock()
+                )
+                return
+            health.last_heard = self.clock()
+            if health.state is not PeerState.ALIVE:
+                health.state = PeerState.ALIVE
+                health.suspected_at = None
+                recovered = True
+        if recovered:
             for callback in list(self.on_recover):
+                callback(peer)
+
+    def mark_dead(self, peer: str) -> None:
+        """Declare a peer dead out of band (e.g. its tunnel closed).
+
+        Fires ``on_dead`` once unless the peer was already DEAD; unknown
+        peers are ignored.
+        """
+        with self._lock:
+            health = self._peers.get(peer)
+            died = health is not None and health.state is not PeerState.DEAD
+            if died:
+                health.state = PeerState.DEAD
+        if died:
+            for callback in list(self.on_dead):
                 callback(peer)
 
     # -- evaluation ------------------------------------------------------------
@@ -92,43 +124,55 @@ class FailureDetector:
         Call periodically (the runtime) or after advancing simulated time
         (the benchmarks).  Returns the current health list.
         """
-        now = self.clock()
-        for health in self._peers.values():
-            silence = now - health.last_heard
-            if silence > self.dead_after:
-                if health.state is not PeerState.DEAD:
-                    health.state = PeerState.DEAD
-                    for callback in list(self.on_dead):
-                        callback(health.peer)
-            elif silence > self.suspect_after:
-                if health.state is PeerState.ALIVE:
-                    health.state = PeerState.SUSPECT
-                    health.suspected_at = now
-                    for callback in list(self.on_suspect):
-                        callback(health.peer)
-        return list(self._peers.values())
+        died: list[str] = []
+        suspected: list[str] = []
+        with self._lock:
+            now = self.clock()
+            for health in self._peers.values():
+                silence = now - health.last_heard
+                if silence > self.dead_after:
+                    if health.state is not PeerState.DEAD:
+                        health.state = PeerState.DEAD
+                        died.append(health.peer)
+                elif silence > self.suspect_after:
+                    if health.state is PeerState.ALIVE:
+                        health.state = PeerState.SUSPECT
+                        health.suspected_at = now
+                        suspected.append(health.peer)
+            snapshot = list(self._peers.values())
+        for peer in died:
+            for callback in list(self.on_dead):
+                callback(peer)
+        for peer in suspected:
+            for callback in list(self.on_suspect):
+                callback(peer)
+        return snapshot
 
     def state_of(self, peer: str) -> PeerState:
-        try:
-            return self._peers[peer].state
-        except KeyError:
-            raise KeyError(f"not watching peer: {peer!r}") from None
+        with self._lock:
+            try:
+                return self._peers[peer].state
+            except KeyError:
+                raise KeyError(f"not watching peer: {peer!r}") from None
+
+    def is_watching(self, peer: str) -> bool:
+        with self._lock:
+            return peer in self._peers
 
     def alive_peers(self) -> list[str]:
-        self.check()
-        return sorted(
-            peer
-            for peer, health in self._peers.items()
-            if health.state is PeerState.ALIVE
-        )
+        return self._peers_in(PeerState.ALIVE)
 
     def dead_peers(self) -> list[str]:
+        return self._peers_in(PeerState.DEAD)
+
+    def _peers_in(self, state: PeerState) -> list[str]:
         self.check()
-        return sorted(
-            peer
-            for peer, health in self._peers.items()
-            if health.state is PeerState.DEAD
-        )
+        with self._lock:
+            return sorted(
+                peer
+                for peer, health in self._peers.items()
+                if health.state is state
+            )
 
     def detection_latency(self, failed_at: float, detected_at: float) -> float:
         """Helper for experiments: time from failure to DEAD verdict."""

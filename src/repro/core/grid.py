@@ -21,6 +21,7 @@ import time
 from typing import Any, Callable, Optional, Sequence
 
 from repro.control.accounting import UsageLedger
+from repro.control.retry import RetryPolicy
 from repro.core.proxy import ProxyError, ProxyServer
 from repro.core.routing import GridDirectory
 from repro.core.site import Site, TaskRegistry
@@ -58,12 +59,21 @@ class Grid:
         transport: str = "inproc",
         clock: Optional[Callable[[], float]] = None,
         key_bits: int = 512,
+        channel_wrapper: Optional[Callable[[Any], Any]] = None,
+        handshake_retry: Optional[RetryPolicy] = None,
     ):
+        """``channel_wrapper`` interposes on every dialed raw channel —
+        the chaos suite injects faults there; ``handshake_retry`` governs
+        redials when a tunnel handshake is interrupted mid-flight."""
         if transport not in ("inproc", "tcp"):
             raise GridError(f"unknown transport: {transport!r}")
         self.transport = transport
         self.clock = clock or time.time
         self.key_bits = key_bits
+        self.channel_wrapper = channel_wrapper
+        self.handshake_retry = handshake_retry or RetryPolicy(
+            max_attempts=5, base_delay=0.02, max_delay=0.5
+        )
         self.ca = CertificationAuthority(key_bits=key_bits, clock=self.clock)
         self.directory = GridDirectory()
         self.users = UserDirectory()
@@ -175,9 +185,13 @@ class Grid:
 
     def _dial(self, address: str):
         if self.transport == "inproc":
-            return self._fabric.connect(address)
-        host, _, port = address.rpartition(":")
-        return connect_tcp(host, int(port))
+            raw = self._fabric.connect(address)
+        else:
+            host, _, port = address.rpartition(":")
+            raw = connect_tcp(host, int(port))
+        if self.channel_wrapper is not None:
+            raw = self.channel_wrapper(raw)
+        return raw
 
     def connect(self, site_a: str, site_b: str) -> None:
         """Establish secure tunnels between two sites.
@@ -196,8 +210,13 @@ class Grid:
                 return
             self._connected_pairs.add(pair)
         proxy_a = self.proxies[name_a]
-        raw = self._dial(self.directory.address_of_proxy(name_b))
-        proxy_a.connect_to_peer(raw)
+        address = self.directory.address_of_proxy(name_b)
+        # Dial with handshake retry: an interrupted handshake (chaos
+        # faults, peer hiccup) redials a fresh channel instead of failing
+        # the whole grid build.
+        proxy_a.connect_to_peer(
+            dial=lambda: self._dial(address), retry=self.handshake_retry
+        )
         # Handshake completion on the acceptor side is asynchronous; wait
         # for the reverse direction to register.
         deadline = time.monotonic() + 10.0
@@ -300,30 +319,43 @@ class Grid:
     # Monitoring
     # ------------------------------------------------------------------
 
-    def global_status(self, via_site: Optional[str] = None) -> dict[str, list[dict]]:
+    def global_status(
+        self, via_site: Optional[str] = None, allow_partial: bool = False
+    ) -> dict[str, Optional[list[dict]]]:
         """Compile the grid-wide status from every site's proxy.
 
         "The global status is obtained by compilation of all the sites'
         data" — the querying proxy asks each peer over the control
         protocol and merges the answers with its own local view.
+
+        With ``allow_partial`` an unreachable site degrades to ``None``
+        in the result instead of failing the whole query: the paper's
+        failure confinement, surfaced at the API ("losing one proxy
+        costs the grid that site's capacity, not the whole grid").
         """
         if not self.sites:
             return {}
         origin_name = via_site or sorted(self.sites)[0]
         origin = self.proxy_of(origin_name)
-        status = {origin.site.name: origin.local_status()}
+        status: dict[str, Optional[list[dict]]] = {
+            origin.site.name: origin.local_status()
+        }
         for site in self.directory.sites():
             if site == origin.site.name:
                 continue
-            # Any proxy of the site can answer for it; fail over in order.
+            # Any proxy of the site can answer for it; the origin's
+            # failure detector orders candidates (dead peers last).
             last_error = None
-            for peer in self.directory.proxies_of_site(site):
+            for peer in origin.ranked_peers(self.directory.proxies_of_site(site)):
                 try:
                     status[site] = origin.query_peer_status(peer)
                     break
                 except Exception as exc:
                     last_error = exc
             else:
+                if allow_partial:
+                    status[site] = None
+                    continue
                 raise GridError(
                     f"no proxy of site {site!r} answered the status query: "
                     f"{last_error}"
@@ -345,6 +377,15 @@ class Grid:
         """
         all_nodes: list[tuple[str, str, float, int]] = []
         for site_name in sorted(self.sites):
+            # A site with no live proxy is unreachable: its stations may
+            # be healthy, but nothing can tunnel their traffic — route
+            # the application around it (the paper's failure confinement).
+            if not any(
+                self.proxies[proxy_name].alive
+                for proxy_name in self.directory.proxies_of_site(site_name)
+                if proxy_name in self.proxies
+            ):
+                continue
             for node in self.sites[site_name].alive_nodes():
                 all_nodes.append(
                     (site_name, node.name, node.cpu_speed, node.running_tasks)

@@ -24,6 +24,7 @@ from repro.transport.frames import Frame, FrameKind, decode_value, encode_value
 
 __all__ = [
     "ControlMessage",
+    "IDEMPOTENT_OPS",
     "Op",
     "ProtocolError",
     "RequestTracker",
@@ -87,6 +88,15 @@ Op._names = {
     for name, value in vars(Op).items()
     if isinstance(value, int) and not name.startswith("_")
 }
+
+#: Ops a retry policy may transparently re-send.  Pure reads (status,
+#: resource location) and checks with no side effects are idempotent; a
+#: duplicated JOB_SUBMIT would execute the job twice and MPI_START /
+#: MPI_END mutate address-space state, so those are excluded and a caller
+#: must treat their timeouts as indeterminate rather than retry blindly.
+IDEMPOTENT_OPS = frozenset(
+    {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK}
+)
 
 _extension_codes = itertools.count(1000)
 _registry_lock = threading.Lock()
@@ -220,8 +230,13 @@ class RequestTracker:
             event = self._waiting.get(message_id)
             if event is None or message_id in self._replies:
                 return
+            # "cancelled" marks this as a locally-synthesised reply (the
+            # link died), distinguishable from a peer-reported ERROR so
+            # retry layers treat it as peer-unavailable, not app failure.
             self._replies[message_id] = ControlMessage(
-                op=Op.ERROR, body={"error": reason}, reply_to=message_id
+                op=Op.ERROR,
+                body={"error": reason, "cancelled": True},
+                reply_to=message_id,
             )
             event.set()
 

@@ -24,11 +24,20 @@ One :class:`ProxyServer` fronts one site.  It owns:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Any, Callable, Optional
 
+from repro.control.failure import FailureDetector, PeerState
+from repro.control.retry import RetryError, RetryPolicy
 from repro.core.multiplexer import GridRouter
-from repro.core.protocol import ControlMessage, Op, ProtocolError, RequestTracker
+from repro.core.protocol import (
+    IDEMPOTENT_OPS,
+    ControlMessage,
+    Op,
+    ProtocolError,
+    RequestTracker,
+)
 from repro.core.routing import GridDirectory
 from repro.core.site import Site
 from repro.core.tunnel import Tunnel, TunnelError
@@ -46,11 +55,41 @@ from repro.transport.channel import Channel, Listener
 from repro.transport.errors import TransportError
 from repro.transport.frames import Frame, FrameKind
 
-__all__ = ["ProxyError", "ProxyServer"]
+__all__ = ["PeerUnavailable", "ProxyError", "ProxyServer", "RequestTimeout"]
 
 
 class ProxyError(Exception):
     """Submission, authentication or forwarding failure at a proxy."""
+
+
+class PeerUnavailable(ProxyError):
+    """No live tunnel to the peer (down, closed mid-request, or never up).
+
+    Not retryable against the same peer — the tunnel is gone and this
+    layer does not redial — but it is precisely the signal the failover
+    paths (job submission, status queries, MPI forwarding) react to by
+    trying the site's next proxy.
+    """
+
+
+class RequestTimeout(ProxyError):
+    """A control request got no reply within its per-attempt timeout.
+
+    Retryable for idempotent ops (the peer may be slow, the request or
+    reply may have been dropped); indeterminate for everything else —
+    the request may have executed.
+    """
+
+
+#: Default policy for idempotent control requests: a few quick attempts
+#: with exponential backoff, retrying timeouts and tunnel send failures.
+DEFAULT_REQUEST_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.05,
+    multiplier=2.0,
+    max_delay=0.5,
+    retryable=(RequestTimeout, TunnelError),
+)
 
 
 class ProxyServer:
@@ -67,6 +106,9 @@ class ProxyServer:
         directory: GridDirectory,
         users: Optional[UserDirectory] = None,
         acl: Optional[AccessControlList] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        suspect_after: float = 3.0,
+        dead_after: float = 10.0,
     ):
         self.name = name
         self.site = site
@@ -97,6 +139,13 @@ class ProxyServer:
         self.extension_handlers: dict[int, Callable[[ControlMessage, str], Optional[ControlMessage]]] = {}
         #: optional usage ledger (reward mechanisms); set by the Grid
         self.ledger = None
+        #: retry policy for idempotent control requests (None disables)
+        self.retry_policy = retry_policy or DEFAULT_REQUEST_RETRY
+        #: peer health, fed by inbound traffic and tunnel-close events;
+        #: failover paths order candidate peers by this detector's verdict
+        self.health = FailureDetector(
+            clock=clock, suspect_after=suspect_after, dead_after=dead_after
+        )
 
     # ------------------------------------------------------------------
     # Layer 1: tunnels
@@ -142,17 +191,43 @@ class ProxyServer:
             return  # unauthenticated peers are silently discarded
         self._install_tunnel(tunnel)
 
-    def connect_to_peer(self, raw: Channel, mode: str = "dh") -> Tunnel:
-        """Dial a peer proxy over an established raw channel."""
-        tunnel = Tunnel.establish_client(
-            raw,
-            self.name,
-            self.keypair,
-            self.certificate,
-            self.trust_anchor,
-            self.clock,
-            mode=mode,
-        )
+    def connect_to_peer(
+        self,
+        raw: Optional[Channel] = None,
+        mode: str = "dh",
+        *,
+        dial: Optional[Callable[[], Channel]] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Tunnel:
+        """Dial a peer proxy.
+
+        Pass an established ``raw`` channel for a single handshake
+        attempt, or a ``dial`` factory to retry interrupted handshakes on
+        a fresh channel per attempt (see :meth:`Tunnel.dial_with_retry`).
+        """
+        if (raw is None) == (dial is None):
+            raise ProxyError("connect_to_peer needs exactly one of raw/dial")
+        if dial is not None:
+            tunnel = Tunnel.dial_with_retry(
+                dial,
+                self.name,
+                self.keypair,
+                self.certificate,
+                self.trust_anchor,
+                self.clock,
+                mode=mode,
+                retry=retry,
+            )
+        else:
+            tunnel = Tunnel.establish_client(
+                raw,
+                self.name,
+                self.keypair,
+                self.certificate,
+                self.trust_anchor,
+                self.clock,
+                mode=mode,
+            )
         self._install_tunnel(tunnel)
         # Introduce ourselves so the peer can map tunnel -> proxy name.
         self._send_control(
@@ -171,6 +246,7 @@ class ProxyServer:
         with self._tunnel_lock:
             self._tunnels[tunnel.peer_name] = tunnel
         self.last_heard[tunnel.peer_name] = self.clock()
+        self.health.watch(tunnel.peer_name)
         tunnel.start()
 
     def _cancel_inflight_for_peer(self, tunnel: Tunnel) -> None:
@@ -184,8 +260,13 @@ class ProxyServer:
     def _on_tunnel_close(self, tunnel: Tunnel) -> None:
         with self._tunnel_lock:
             current = self._tunnels.get(tunnel.peer_name)
-            if current is tunnel:
+            stale = current is tunnel
+            if stale:
                 del self._tunnels[tunnel.peer_name]
+        if stale:
+            # A closed tunnel is a hard liveness signal: skip the
+            # heartbeat timeout and degrade immediately.
+            self.health.mark_dead(tunnel.peer_name)
         for callback in list(self.on_peer_lost):
             callback(tunnel.peer_name)
 
@@ -193,10 +274,34 @@ class ProxyServer:
         with self._tunnel_lock:
             tunnel = self._tunnels.get(peer_proxy)
         if tunnel is None or not tunnel.alive:
-            raise ProxyError(
+            raise PeerUnavailable(
                 f"proxy {self.name!r} has no live tunnel to {peer_proxy!r}"
             )
         return tunnel
+
+    def ranked_peers(self, candidates: list[str]) -> list[str]:
+        """Order candidate peers by health: alive, then unknown, then dead.
+
+        Dead peers stay in the list — last — so callers still reach them
+        when every healthier option fails (the detector can be stale),
+        but degraded sites are routed around first.
+        """
+        alive: list[str] = []
+        unknown: list[str] = []
+        dead: list[str] = []
+        for peer in candidates:
+            try:
+                state = self.health.state_of(peer)
+            except KeyError:
+                unknown.append(peer)
+                continue
+            if state is PeerState.ALIVE:
+                alive.append(peer)
+            elif state is PeerState.DEAD:
+                dead.append(peer)
+            else:
+                unknown.append(peer)
+        return alive + unknown + dead
 
     def peers(self) -> list[str]:
         with self._tunnel_lock:
@@ -211,10 +316,43 @@ class ProxyServer:
         tunnel.send(message.to_frame())
 
     def request(
-        self, peer_proxy: str, op: int, body: Optional[dict] = None, timeout: float = 30.0
+        self,
+        peer_proxy: str,
+        op: int,
+        body: Optional[dict] = None,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> ControlMessage:
-        """Send a control request to a peer and wait for the reply."""
-        tunnel = self.tunnel_to(peer_proxy)
+        """Send a control request to a peer and wait for the reply.
+
+        Idempotent ops (see :data:`~repro.core.protocol.IDEMPOTENT_OPS`)
+        are retried under the proxy's retry policy on per-attempt
+        timeouts and tunnel send failures; ``timeout`` is the *total*
+        deadline budget across attempts.  Everything else runs exactly
+        once — a duplicated JOB_SUBMIT would execute twice.
+        """
+        policy = retry if retry is not None else self.retry_policy
+        idempotent = op in IDEMPOTENT_OPS
+        if policy is None or not idempotent or policy.max_attempts <= 1:
+            return self._request_once(peer_proxy, op, body, timeout)
+        # Each attempt gets an equal slice of the budget so a swallowed
+        # request leaves room for its retries within ``timeout``.
+        slice_timeout = timeout / policy.max_attempts
+        policy = dataclasses.replace(policy, deadline=timeout)
+        try:
+            return policy.call(
+                lambda deadline: self._request_once(
+                    peer_proxy, op, body, max(deadline.clamp(slice_timeout), 0.001)
+                ),
+                idempotent=True,
+            )
+        except RetryError as exc:
+            raise exc.last
+
+    def _request_once(
+        self, peer_proxy: str, op: int, body: Optional[dict], timeout: float
+    ) -> ControlMessage:
+        tunnel = self.tunnel_to(peer_proxy)  # raises PeerUnavailable
         message = ControlMessage(op=op, body=body or {}, sender=self.name)
         self._tracker.expect(message)
         with self._inflight_lock:
@@ -222,14 +360,30 @@ class ProxyServer:
                 message.message_id
             )
         try:
-            self._send_control(tunnel, message)
-            reply = self._tracker.wait(message.message_id, timeout=timeout)
+            try:
+                self._send_control(tunnel, message)
+            except TunnelError as exc:
+                raise PeerUnavailable(
+                    f"send to {peer_proxy!r} failed: tunnel closed ({exc})"
+                ) from exc
+            try:
+                reply = self._tracker.wait(message.message_id, timeout=timeout)
+            except ProtocolError as exc:
+                raise RequestTimeout(
+                    f"{Op.name_of(op)} to {peer_proxy!r} got no reply "
+                    f"within {timeout:.3f}s"
+                ) from exc
         finally:
             with self._inflight_lock:
                 self._inflight_by_peer.get(peer_proxy, set()).discard(
                     message.message_id
                 )
         if reply.op == Op.ERROR:
+            if reply.body.get("cancelled"):
+                raise PeerUnavailable(
+                    f"request to {peer_proxy!r} cancelled: "
+                    f"{reply.body.get('error')}"
+                )
             raise ProxyError(
                 f"peer {peer_proxy!r} reported error: {reply.body.get('error')}"
             )
@@ -241,6 +395,7 @@ class ProxyServer:
         except ProtocolError:
             return  # corrupt control traffic is discarded
         self.last_heard[tunnel.peer_name] = self.clock()
+        self.health.heard_from(tunnel.peer_name)
         if message.is_reply():
             self._tracker.fulfil(message)
             return
@@ -376,8 +531,10 @@ class ProxyServer:
         }
         # Sites may run several proxies; fail over on connectivity errors
         # (a policy rejection from a live proxy is final, not retried).
+        # Peers the failure detector has declared dead are tried last, so
+        # a degraded site is routed around without waiting for errors.
         last_error: Optional[ProxyError] = None
-        for peer in self.directory.proxies_of_site(target_site):
+        for peer in self.ranked_peers(self.directory.proxies_of_site(target_site)):
             try:
                 reply = self.request(peer, Op.JOB_SUBMIT, body, timeout=timeout)
             except ProxyError as exc:
@@ -470,15 +627,26 @@ class ProxyServer:
             wire_sites = {str(r): s for r, s in rank_to_site.items()}
             wire_nodes = {str(r): n for r, n in rank_to_node.items()}
             for site in sorted(participating):
-                peer = self.directory.proxy_of_site(site)
-                reply = self.request(
-                    peer,
-                    Op.MPI_START,
-                    {"app": app_id, "sites": wire_sites, "nodes": wire_nodes},
-                )
-                if reply.op != Op.MPI_STARTED:
+                # Announce to *every* proxy of the site, not just the
+                # primary: backups then hold the address space too, so
+                # MPI traffic can fail over to them mid-application.
+                started = False
+                last_error: Optional[ProxyError] = None
+                for peer in self.directory.proxies_of_site(site):
+                    try:
+                        reply = self.request(
+                            peer,
+                            Op.MPI_START,
+                            {"app": app_id, "sites": wire_sites, "nodes": wire_nodes},
+                        )
+                    except ProxyError as exc:
+                        last_error = exc
+                        continue
+                    started = started or reply.op == Op.MPI_STARTED
+                if not started:
                     raise ProxyError(
-                        f"peer {peer!r} failed to start app {app_id!r}"
+                        f"no proxy of site {site!r} started app {app_id!r}: "
+                        f"{last_error}"
                     )
         return router
 
@@ -495,7 +663,10 @@ class ProxyServer:
             router = GridRouter(self, space)
             self._spaces[app_id] = space
             self._routers[app_id] = router
-            return router
+        # First proxy of the site to start the app owns the canonical
+        # router (ranks bind to it); backups route inbound frames to it.
+        self.site.register_app_router(app_id, router)
+        return router
 
     def _handle_mpi_start(self, message: ControlMessage) -> ControlMessage:
         app_id = message.body["app"]
@@ -531,21 +702,50 @@ class ProxyServer:
         tag: int,
         payload_blob: bytes,
     ) -> None:
-        """Send one multiplexed MPI message through the secure tunnel."""
-        tunnel = self.tunnel_to(peer_proxy)
-        tunnel.send(
-            Frame(
-                kind=FrameKind.MPI,
-                headers={"app": app_id, "src": source, "dst": dest, "tag": tag},
-                payload=payload_blob,
-            )
+        """Send one multiplexed MPI message through the secure tunnel.
+
+        The virtual slave's preferred peer goes first; if its tunnel is
+        down, the message fails over to the destination site's other
+        proxies (every participating proxy holds the app's address space
+        and delivers through the site-level router), so one proxy death
+        degrades only its own site.
+        """
+        frame = Frame(
+            kind=FrameKind.MPI,
+            headers={"app": app_id, "src": source, "dst": dest, "tag": tag},
+            payload=payload_blob,
+        )
+        candidates = [peer_proxy]
+        try:
+            dest_site = self.app_space(app_id).rank_to_site.get(dest)
+            if dest_site is not None:
+                for alt in self.ranked_peers(
+                    self.directory.proxies_of_site(dest_site)
+                ):
+                    if alt not in candidates:
+                        candidates.append(alt)
+        except Exception:
+            pass  # directory gaps: fall back to the preferred peer only
+        last_error: Optional[Exception] = None
+        for peer in candidates:
+            try:
+                self.tunnel_to(peer).send(frame)
+                return
+            except (PeerUnavailable, TunnelError) as exc:
+                last_error = exc
+        raise PeerUnavailable(
+            f"no route for MPI app {app_id!r} rank {dest}: {last_error}"
         )
 
     def _on_mpi(self, tunnel: Tunnel, frame: Frame) -> None:
         self.last_heard[tunnel.peer_name] = self.clock()
+        self.health.heard_from(tunnel.peer_name)
         try:
             app_id = frame.headers["app"]
-            router = self.router_for(app_id)
+            # Prefer the site-level router: if this proxy is a backup for
+            # its site, the ranks are blocked on the endpoints of the
+            # proxy that originated the space, not on this proxy's own.
+            router = self.site.app_router(app_id) or self.router_for(app_id)
             router.deliver_remote(
                 source=frame.headers["src"],
                 dest=frame.headers["dst"],
@@ -561,15 +761,15 @@ class ProxyServer:
             space = self._spaces.pop(app_id, None)
             router = self._routers.pop(app_id, None)
         if router is not None:
+            self.site.unregister_app_router(app_id, router)
             router.close()
         if announce and space is not None:
             for site in {s for s in space.rank_to_site.values() if s != self.site.name}:
-                try:
-                    self.request(
-                        self.directory.proxy_of_site(site), Op.MPI_END, {"app": app_id}
-                    )
-                except (ProxyError, Exception):
-                    pass  # best-effort teardown
+                for peer in self.directory.proxies_of_site(site):
+                    try:
+                        self.request(peer, Op.MPI_END, {"app": app_id})
+                    except Exception:
+                        pass  # best-effort teardown
 
     # ------------------------------------------------------------------
     # Explicit secure local channels
@@ -663,8 +863,14 @@ class ProxyServer:
 
     def _on_heartbeat(self, tunnel: Tunnel, frame: Frame) -> None:
         self.last_heard[tunnel.peer_name] = self.clock()
+        self.health.heard_from(tunnel.peer_name)
 
     # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """False once shutdown began — this proxy serves no new traffic."""
+        return not self._closing.is_set()
 
     def shutdown(self) -> None:
         self._closing.set()

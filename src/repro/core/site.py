@@ -186,6 +186,28 @@ class Site:
     name: str
     nodes: dict[str, SiteNode] = field(default_factory=dict)
     proxy_name: str = ""
+    #: site-level MPI router registry: every proxy fronting this site
+    #: delivers inbound tunneled envelopes through the *site's* canonical
+    #: router, so a multiplexed message arriving at a backup proxy still
+    #: reaches the endpoints the ranks are actually blocked on.
+    app_routers: dict = field(default_factory=dict, repr=False)
+    _router_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def register_app_router(self, app_id: str, router) -> None:
+        """First proxy to create the app's space owns the site's router."""
+        with self._router_lock:
+            self.app_routers.setdefault(app_id, router)
+
+    def app_router(self, app_id: str):
+        with self._router_lock:
+            return self.app_routers.get(app_id)
+
+    def unregister_app_router(self, app_id: str, router) -> None:
+        with self._router_lock:
+            if self.app_routers.get(app_id) is router:
+                del self.app_routers[app_id]
 
     def add_node(
         self,

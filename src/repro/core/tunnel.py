@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
+from repro.control.retry import RetryError, RetryPolicy
 from repro.security.certs import Certificate
 from repro.security.handshake import (
     HandshakeError,
@@ -84,6 +85,56 @@ class Tunnel:
             raw.close()
             raise TunnelError(f"tunnel handshake failed: {exc}") from exc
         return cls(secure, local_name)
+
+    @classmethod
+    def dial_with_retry(
+        cls,
+        dial: Callable[[], Channel],
+        local_name: str,
+        keypair: RsaKeyPair,
+        certificate: Certificate,
+        trust_anchor: RsaPublicKey,
+        clock: Callable[[], float],
+        mode: str = "dh",
+        retry: Optional[RetryPolicy] = None,
+    ) -> "Tunnel":
+        """Dial-side establishment with handshake retry.
+
+        A handshake interrupted by transport faults (truncated or dropped
+        hellos, a mid-handshake disconnect) poisons the raw channel, so
+        each attempt dials a *fresh* channel via ``dial``.  Retrying is
+        safe — an incomplete handshake has no side effects beyond the
+        dead channel.  Raises :class:`TunnelError` when every attempt
+        fails.
+        """
+        retry = retry or RetryPolicy(retryable=(TunnelError,))
+        if TunnelError not in retry.retryable:
+            retry = RetryPolicy(
+                max_attempts=retry.max_attempts,
+                base_delay=retry.base_delay,
+                multiplier=retry.multiplier,
+                max_delay=retry.max_delay,
+                jitter=retry.jitter,
+                deadline=retry.deadline,
+                retryable=retry.retryable + (TunnelError,),
+            )
+
+        def attempt(_deadline) -> "Tunnel":
+            try:
+                raw = dial()
+            except Exception as exc:
+                raise TunnelError(f"dial failed: {exc}") from exc
+            return cls.establish_client(
+                raw, local_name, keypair, certificate, trust_anchor, clock, mode=mode
+            )
+
+        try:
+            return retry.call(attempt, idempotent=True)
+        except RetryError as exc:
+            raise TunnelError(
+                f"tunnel establishment failed after {exc.attempts} attempts: "
+                f"{exc.last}"
+            ) from exc.last
 
     @classmethod
     def establish_server(

@@ -20,6 +20,9 @@ channels for data traffic and control.  This package provides:
     Reliable frames over real UDP datagrams (ARQ with cumulative ACKs
     and retransmission) — the paper's layer diagram names UDP alongside
     TCP as a base protocol.
+:mod:`repro.transport.faulty`
+    Deterministic fault injection (drops, delays, reorders, corruption,
+    disconnects) over any channel — the substrate of the chaos suite.
 :mod:`repro.transport.errors`
     The transport exception hierarchy.
 """
@@ -41,6 +44,13 @@ from repro.transport.frames import (
     encode_frame,
     encode_value,
 )
+from repro.transport.faulty import (
+    FaultInjector,
+    FaultPlan,
+    FaultyChannel,
+    FaultyListener,
+    faulty_pair,
+)
 from repro.transport.inproc import InprocChannel, InprocFabric, channel_pair
 from repro.transport.tcp import TcpChannel, TcpListener, connect_tcp
 from repro.transport.udp import UdpChannel, udp_pair
@@ -49,10 +59,15 @@ __all__ = [
     "Channel",
     "ChannelClosed",
     "CodecError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyChannel",
+    "FaultyListener",
     "Frame",
     "FrameDecoder",
     "FrameError",
     "FrameKind",
+    "faulty_pair",
     "InprocChannel",
     "InprocFabric",
     "Listener",

@@ -348,7 +348,13 @@ def _decode_frame_at(data, offset: int) -> tuple[Optional[Frame], int]:
         header_blob = bytes(view[body_start : body_start + hlen])
         payload = bytes(view[body_start + hlen : offset + total])
         view.release()
-    headers = decode_value(header_blob)
+    try:
+        headers = decode_value(header_blob)
+    except CodecError as exc:
+        # Corrupt header bytes are a framing error: the stream cannot be
+        # resynchronised, so the decoder must poison itself, not leak a
+        # CodecError past its FrameError contract.
+        raise FrameError(f"corrupt frame headers: {exc}") from exc
     if not isinstance(headers, dict):
         raise FrameError("frame headers are not a dict")
     return Frame(kind=kind, channel=channel, headers=headers, payload=payload), total

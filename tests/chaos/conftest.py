@@ -1,0 +1,38 @@
+"""Shared machinery for the chaos suite.
+
+Every chaos test is parametrized over a fixed set of seeds, and every
+fault schedule is a pure function of its seed — so a failure is
+replayable: the test's failure message names the seed, and
+
+    CHAOS_SEED=<seed> PYTHONPATH=src python -m pytest -m chaos
+
+re-runs the whole suite under exactly that schedule.  ``CHAOS_SEED``
+accepts a comma-separated list to replay several at once.
+"""
+
+import os
+from contextlib import contextmanager
+
+#: The default seed set.  Fixed, not random: the suite must fail the same
+#: way tomorrow as it does today.
+CHAOS_SEEDS = [11, 42, 1337, 9001, 20260806]
+
+
+def chaos_seeds() -> list[int]:
+    override = os.environ.get("CHAOS_SEED")
+    if override:
+        return [int(part) for part in override.split(",") if part.strip()]
+    return CHAOS_SEEDS
+
+
+@contextmanager
+def replaying(seed: int):
+    """Annotate any failure inside the block with its replay seed."""
+    try:
+        yield
+    except Exception as exc:
+        exc.add_note(
+            f"[chaos] replay with: CHAOS_SEED={seed} "
+            f"PYTHONPATH=src python -m pytest -m chaos"
+        )
+        raise

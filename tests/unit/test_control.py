@@ -309,6 +309,113 @@ class TestFailureDetector:
         with pytest.raises(ValueError):
             FailureDetector(clock, suspect_after=5, dead_after=5)
 
+    def test_suspect_recovery_fires_exactly_once(self):
+        """Repeated heartbeats after a SUSPECT verdict recover once."""
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        recovered = []
+        detector.on_recover.append(lambda p: recovered.append(p))
+        detector.watch("proxy.B")
+        clock.now = 5.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.SUSPECT
+        detector.heard_from("proxy.B")
+        detector.heard_from("proxy.B")
+        detector.heard_from("proxy.B")
+        assert recovered == ["proxy.B"]
+        assert detector.state_of("proxy.B") is PeerState.ALIVE
+
+    def test_dead_recovery_fires_exactly_once(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        recovered = []
+        detector.on_recover.append(lambda p: recovered.append(p))
+        detector.watch("proxy.B")
+        clock.now = 20.0
+        detector.check()
+        assert detector.state_of("proxy.B") is PeerState.DEAD
+        detector.heard_from("proxy.B")
+        detector.heard_from("proxy.B")
+        assert recovered == ["proxy.B"]
+
+    def test_mark_dead_fires_once_and_ignores_unknown(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        died = []
+        detector.on_dead.append(lambda p: died.append(p))
+        detector.mark_dead("ghost")  # never watched: no-op, no callback
+        detector.watch("proxy.B")
+        detector.mark_dead("proxy.B")
+        detector.mark_dead("proxy.B")
+        assert died == ["proxy.B"]
+        assert detector.state_of("proxy.B") is PeerState.DEAD
+        # check() must not re-announce the death it already reported.
+        clock.now = 20.0
+        detector.check()
+        assert died == ["proxy.B"]
+
+    def test_mark_dead_then_heartbeat_recovers(self):
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        recovered = []
+        detector.on_recover.append(lambda p: recovered.append(p))
+        detector.watch("proxy.B")
+        detector.mark_dead("proxy.B")
+        detector.heard_from("proxy.B")
+        assert recovered == ["proxy.B"]
+        assert detector.state_of("proxy.B") is PeerState.ALIVE
+
+    def test_callbacks_may_reenter_the_detector(self):
+        """A callback that calls back into the detector must not deadlock."""
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        states = []
+        detector.on_dead.append(lambda p: states.append(detector.state_of(p)))
+        detector.watch("proxy.B")
+        detector.mark_dead("proxy.B")
+        assert states == [PeerState.DEAD]
+
+    def test_concurrent_heartbeats_and_checks_fire_transitions_once(self):
+        """Receiver threads hammer heard_from while a monitor thread runs
+        check(): every transition is reported exactly once per state
+        change, never duplicated by the race."""
+        import threading
+
+        clock = FakeClock()
+        detector = FailureDetector(clock, suspect_after=3.0, dead_after=10.0)
+        recovered = []
+        events_lock = threading.Lock()
+
+        def on_recover(peer):
+            with events_lock:
+                recovered.append(peer)
+
+        detector.on_recover.append(on_recover)
+        detector.watch("proxy.B")
+
+        for round_number in range(20):
+            # Silence long enough to be declared dead...
+            clock.now += 20.0
+            detector.check()
+            assert detector.state_of("proxy.B") is PeerState.DEAD
+            # ...then a burst of concurrent heartbeats and checks.
+            barrier = threading.Barrier(8)
+
+            def hammer():
+                barrier.wait()
+                for _ in range(50):
+                    detector.heard_from("proxy.B")
+                    detector.check()
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert detector.state_of("proxy.B") is PeerState.ALIVE
+            # One DEAD -> ALIVE transition per round, no double-fires.
+            assert len(recovered) == round_number + 1
+
 
 class TestResourceLocator:
     def status(self):

@@ -1,0 +1,280 @@
+"""Hardening tests for the data-plane fast path under hostile sockets.
+
+The vectored-send loop, the group-commit queue and the cipher-suite
+negotiation all have to survive what real kernels do on a bad day:
+``sendmsg`` returning partway through a buffer, writes trickling out a
+few bytes at a time, and message boundaries landing anywhere in the TCP
+stream.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.security.ca import CertificationAuthority
+from repro.security.cipher import CIPHER_SUITES
+from repro.security.handshake import (
+    _LEGACY_SUITE,
+    _choose_suite,
+    accept_secure,
+    connect_secure,
+)
+from repro.security.rsa import RsaKeyPair
+from repro.transport.errors import ChannelClosed
+from repro.transport.frames import (
+    Frame,
+    FrameDecoder,
+    FrameKind,
+    encode_frame,
+    encode_frame_views,
+)
+from repro.transport.tcp import TcpChannel, TcpListener, _IOV_MAX, _sendall_views
+
+
+# ---------------------------------------------------------------------------
+# _sendall_views: partial sendmsg returns
+# ---------------------------------------------------------------------------
+
+
+class FakeSock:
+    """A socket whose sendmsg follows a scripted plan of partial returns.
+
+    Each plan entry caps the bytes "sent" by one call (an OSError entry
+    raises instead); once the plan runs dry, calls send everything they
+    were given.
+    """
+
+    def __init__(self, plan=()):
+        self.plan = list(plan)
+        self.written = bytearray()
+        self.call_sizes = []
+
+    def sendmsg(self, buffers):
+        self.call_sizes.append(len(buffers))
+        total = sum(len(b) for b in buffers)
+        allowed = total
+        if self.plan:
+            step = self.plan.pop(0)
+            if isinstance(step, Exception):
+                raise step
+            allowed = min(step, total)
+        remaining = allowed
+        for buffer in buffers:
+            take = min(len(buffer), remaining)
+            self.written += bytes(buffer[:take])
+            remaining -= take
+            if remaining == 0:
+                break
+        return allowed
+
+
+VIEWS = [b"hello ", b"", b"wor", b"ld", b"!" * 40, b"tail"]
+JOINED = b"".join(VIEWS)
+
+
+def test_sendall_views_complete_writes():
+    sock = FakeSock()
+    _sendall_views(sock, VIEWS)
+    assert bytes(sock.written) == JOINED
+    assert sock.call_sizes == [len([v for v in VIEWS if v])]
+
+
+def test_sendall_views_survives_one_byte_returns():
+    sock = FakeSock(plan=[1] * (len(JOINED) - 1))
+    _sendall_views(sock, VIEWS)
+    assert bytes(sock.written) == JOINED
+
+
+def test_sendall_views_survives_midbuffer_partials():
+    # 7 lands mid-"hello ", then mid-"!"-run, etc.
+    sock = FakeSock(plan=[7, 2, 11, 3])
+    _sendall_views(sock, VIEWS)
+    assert bytes(sock.written) == JOINED
+
+
+def test_sendall_views_respects_iov_max():
+    views = [b"x"] * (_IOV_MAX * 2 + 100)
+    sock = FakeSock(plan=[50])  # and a partial for good measure
+    _sendall_views(sock, views)
+    assert bytes(sock.written) == b"x" * len(views)
+    assert all(size <= _IOV_MAX for size in sock.call_sizes)
+    assert len(sock.call_sizes) >= 3
+
+
+def test_sendall_views_propagates_error_after_partial():
+    sock = FakeSock(plan=[5, OSError("EPIPE")])
+    with pytest.raises(OSError):
+        _sendall_views(sock, VIEWS)
+    assert bytes(sock.written) == JOINED[:5]
+
+
+# ---------------------------------------------------------------------------
+# TcpChannel group commit over a trickling socket
+# ---------------------------------------------------------------------------
+
+
+class TrickleSock:
+    """Delegates to a real socket but sends at most ``limit`` bytes per
+    sendmsg — every frame crosses the wire in many partial writes."""
+
+    def __init__(self, sock, limit=3):
+        self._sock = sock
+        self.limit = limit
+        self.sendmsg_calls = 0
+
+    def sendmsg(self, buffers):
+        self.sendmsg_calls += 1
+        data = b"".join(bytes(b) for b in buffers)
+        return self._sock.send(data[: self.limit])
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+
+def tcp_pair():
+    listener = TcpListener()
+    client = socket.create_connection((listener.host, listener.port))
+    client.settimeout(None)
+    sender = TcpChannel(client, name="trickle-sender")
+    receiver = listener.accept(timeout=5.0)
+    listener.close()
+    return sender, receiver
+
+
+def make_frames(start, count):
+    return [
+        Frame(
+            kind=FrameKind.DATA,
+            headers={"n": n},
+            payload=bytes([n % 256]) * 33,
+        )
+        for n in range(start, start + count)
+    ]
+
+
+def test_send_many_group_commit_over_trickling_socket():
+    sender, receiver = tcp_pair()
+    sender._sock = TrickleSock(sender._sock, limit=3)
+    try:
+        workers = [
+            threading.Thread(
+                target=lambda s=start: sender.send_many(make_frames(s, 10))
+            )
+            for start in range(0, 40, 10)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        got = {}
+        for _ in range(40):
+            frame = receiver.recv(timeout=10.0)
+            got[frame.headers["n"]] = frame.payload
+        assert sorted(got) == list(range(40))
+        for n, payload in got.items():
+            assert payload == bytes([n % 256]) * 33
+        assert sender._sock.sendmsg_calls > 40  # really did trickle
+    finally:
+        sender.close()
+        receiver.close()
+
+
+def test_send_on_dead_peer_raises_channel_closed():
+    sender, receiver = tcp_pair()
+    sender._sock = TrickleSock(sender._sock, limit=3)
+    receiver.close()
+    try:
+        with pytest.raises(ChannelClosed):
+            # The first writes land in kernel buffers; keep pushing until
+            # the RST surfaces.  Bounded: the channel closes itself on
+            # the first OSError.
+            for _ in range(1000):
+                sender.send_many(make_frames(0, 5))
+                time.sleep(0.001)
+    finally:
+        sender.close()
+
+
+# ---------------------------------------------------------------------------
+# Cipher-suite negotiation with hellos split across reads
+# ---------------------------------------------------------------------------
+
+
+def test_hello_survives_any_split_and_keeps_cipher_offer():
+    """Reassembling the client hello from any two TCP segments preserves
+    the suite offer — negotiation never silently downgrades."""
+    hello = Frame(
+        kind=FrameKind.HANDSHAKE,
+        headers={"step": "hello"},
+        payload=b"\x00" * 10,
+    )
+    wire = encode_frame(hello)
+    for cut in range(len(wire) + 1):
+        decoder = FrameDecoder()
+        decoder.feed(wire[:cut])
+        early = decoder.next_frame()
+        decoder.feed(wire[cut:])
+        frame = early or decoder.next_frame()
+        assert frame is not None
+        assert frame.headers == {"step": "hello"}
+        assert frame.payload == hello.payload
+
+
+def test_choose_suite_prefers_best_common():
+    assert _choose_suite(list(CIPHER_SUITES)) == CIPHER_SUITES[0]
+    assert _choose_suite(list(reversed(CIPHER_SUITES))) == CIPHER_SUITES[0]
+    assert _choose_suite([]) == _LEGACY_SUITE
+    assert _choose_suite(["no-such-suite"]) == _LEGACY_SUITE
+    assert _choose_suite([_LEGACY_SUITE]) == _LEGACY_SUITE
+
+
+def test_negotiation_over_trickling_sockets_picks_best_suite():
+    """Full handshake with both directions trickling 16 bytes per write:
+    the hellos arrive in dozens of fragments and the negotiated suite is
+    still the best common one on both ends."""
+    clock = time.time
+    ca = CertificationAuthority(key_bits=512, clock=clock)
+    client_keys = RsaKeyPair.generate(512)
+    server_keys = RsaKeyPair.generate(512)
+    client_cert = ca.issue("client", "proxy", client_keys.public)
+    server_cert = ca.issue("server", "proxy", server_keys.public)
+
+    client_channel, server_channel = tcp_pair()
+    client_channel._sock = TrickleSock(client_channel._sock, limit=16)
+    server_channel._sock = TrickleSock(server_channel._sock, limit=16)
+
+    result = {}
+
+    def serve():
+        result["server"] = accept_secure(
+            server_channel,
+            server_keys,
+            server_cert,
+            ca.public_key,
+            clock,
+            expected_peer_role="proxy",
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    try:
+        client = connect_secure(
+            client_channel,
+            client_keys,
+            client_cert,
+            ca.public_key,
+            clock,
+            expected_peer_role="proxy",
+        )
+        thread.join(timeout=30.0)
+        server = result["server"]
+        assert client.suite == CIPHER_SUITES[0]
+        assert server.suite == CIPHER_SUITES[0]
+        # The negotiated records actually flow over the trickle.
+        client.send(Frame(kind=FrameKind.DATA, payload=b"after-split"))
+        assert server.recv(timeout=10.0).payload == b"after-split"
+    finally:
+        client_channel.close()
+        server_channel.close()
