@@ -7,12 +7,13 @@ this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
 
 ``--quick`` runs a smoke pass: experiments that support it (currently
-``fastpath`` and ``tests``) shrink their workloads so the whole sweep
-finishes in seconds — useful for CI and for checking nothing is broken
-before a full measurement run.
+``fastpath``, ``concurrency`` and ``tests``) shrink their workloads so
+the whole sweep finishes in seconds — useful for CI and for checking
+nothing is broken before a full measurement run.
 
 The ``tests`` profile runs the pytest suite in stages (it is not listed
-in the default sweep; ask for it by name).  ``--quick`` limits it to
+in the default sweep; ask for it by name).  Tier-1 runs twice, once per
+I/O mode (reactor and ``REPRO_IO=threaded``).  ``--quick`` limits it to
 unit + property tests; the full profile adds integration and the chaos
 resilience suite (``-m chaos``), and — when ``pytest-cov`` happens to be
 installed — enforces the coverage gate ``--cov=repro
@@ -34,13 +35,21 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def run_test_profile(quick: bool) -> list[dict]:
-    """Run the pytest suite in stages; one table row per stage."""
+    """Run the pytest suite in stages; one table row per stage.
+
+    Tier-1 runs under both I/O modes: the reactor (default) and the
+    ``REPRO_IO=threaded`` escape hatch, so neither path can rot.
+    """
     if quick:
-        stages = [("unit+property", ["tests/unit", "tests/property"])]
+        stages = [
+            ("unit+property (reactor)", ["tests/unit", "tests/property"], "reactor"),
+            ("unit (threaded)", ["tests/unit"], "threaded"),
+        ]
     else:
         stages = [
-            ("tier-1 (full default run)", ["tests"]),
-            ("chaos resilience", ["-m", "chaos", "tests/chaos"]),
+            ("tier-1 (reactor, full default run)", ["tests"], "reactor"),
+            ("tier-1 (REPRO_IO=threaded)", ["tests"], "threaded"),
+            ("chaos resilience", ["-m", "chaos", "tests/chaos"], "reactor"),
         ]
     has_cov = importlib.util.find_spec("pytest_cov") is not None
     env = dict(os.environ)
@@ -49,13 +58,14 @@ def run_test_profile(quick: bool) -> list[dict]:
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
     )
     rows = []
-    for name, args in stages:
+    for name, args, io in stages:
         cmd = [sys.executable, "-m", "pytest", "-q", *args]
-        gated = not quick and has_cov and name.startswith("tier-1")
+        gated = not quick and has_cov and name.startswith("tier-1 (reactor")
         if gated:
             cmd += ["--cov=repro", "--cov-fail-under=80"]
         start = time.perf_counter()
-        result = subprocess.run(cmd, cwd=_ROOT, env=env)
+        stage_env = dict(env, REPRO_IO=io)
+        result = subprocess.run(cmd, cwd=_ROOT, env=stage_env)
         rows.append(
             {
                 "stage": name,
@@ -82,6 +92,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_e10_multiproxy as e10
     import benchmarks.bench_e11_isolation as e11
     import benchmarks.bench_e12_owner_priority as e12
+    import benchmarks.bench_concurrency as concurrency
     import benchmarks.bench_fastpath as fastpath
 
     quick = "--quick" in argv
@@ -118,6 +129,10 @@ def main(argv: list[str]) -> int:
                 ("Fastpath: tunnel end-to-end", report["tunnel"]),
             ]
         )(fastpath.run_experiment(quick=quick)),
+        "concurrency": lambda: [
+            ("Concurrency: reactor vs thread-per-connection",
+             concurrency.run_tables(quick=quick)),
+        ],
         "tests": lambda: [
             ("Test profile " + ("(quick)" if quick else "(full)"),
              run_test_profile(quick)),

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Tuple, Type
 
 from repro.transport.errors import TransportError

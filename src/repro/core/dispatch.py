@@ -1,0 +1,220 @@
+"""The control-plane dispatch pipeline: decode → authorize → lookup → respond.
+
+The seed's :class:`~repro.core.proxy.ProxyServer` buried the whole
+inbound control path in one ``_dispatch`` method: an if/elif ladder over
+op codes, executed on whichever thread happened to deliver the frame.
+With the reactor owning delivery, that thread is a *shared event loop* —
+a handler that blocks (job execution, a slow extension) would stall every
+tunnel on the loop, and a handler that waits for a reply arriving over
+the same loop would deadlock it outright.
+
+This module makes the stages explicit and gives blocking work somewhere
+safe to run:
+
+1. **decode** — :meth:`DispatchPipeline.decode` turns a frame into a
+   :class:`~repro.core.protocol.ControlMessage`, discarding garbage (the
+   security posture for unauthenticated noise is silence, not errors).
+2. **authorize** — registered guards run before any handler; a guard can
+   veto a message with a reply (e.g. "proxy is shutting down") or raise,
+   which becomes an ERROR reply.  Credential verification stays *inside*
+   the handlers that carry credentials — the paper checks them at the
+   destination proxy per-operation, and the denial op differs per
+   operation (AUTH_DENIED vs JOB_REJECTED).
+3. **lookup** — the handler registry maps op → handler; ops registered
+   ``blocking=True`` (job execution, DFS ops, any extension handler) are
+   bounced to a **sized worker pool** so the event loop never stalls.
+4. **respond** — the handler's reply (or the ERROR built from its
+   exception) goes back through the caller-supplied ``respond`` sink;
+   handlers returning ``None`` answer nothing (HELLO, notifications).
+
+The pipeline is transport-agnostic: it never touches tunnels or sockets.
+The proxy wires ``respond`` to the tunnel the request arrived on.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.core.protocol import ControlMessage, Op, ProtocolError
+from repro.transport.frames import Frame
+
+__all__ = ["DROP", "DispatchPipeline", "Handler"]
+
+#: Guard verdict for silent discard — the unauthorized-traffic posture.
+#: Returning a reply vetoes loudly; returning DROP vetoes silently.
+DROP = object()
+
+#: Guards and handlers both take (message, peer); a guard returning a
+#: reply (or DROP) short-circuits the pipeline (the message is vetoed).
+Guard = Callable[[ControlMessage, str], Optional[ControlMessage]]
+Respond = Callable[[ControlMessage], None]
+
+
+class Handler:
+    """One registered op handler and its execution constraints."""
+
+    __slots__ = ("fn", "blocking")
+
+    def __init__(
+        self,
+        fn: Callable[[ControlMessage, str], Optional[ControlMessage]],
+        blocking: bool = False,
+    ):
+        self.fn = fn
+        self.blocking = blocking
+
+
+class DispatchPipeline:
+    """Layered dispatch for one proxy's control plane.
+
+    ``workers`` bounds the pool that blocking handlers run on; the pool
+    is created lazily (a proxy that never executes jobs never pays for
+    it) and joined by :meth:`close`.
+    """
+
+    def __init__(self, name: str = "dispatch", workers: int = 4):
+        if workers <= 0:
+            raise ValueError(f"worker pool needs at least one thread: {workers}")
+        self.name = name
+        self.workers = workers
+        self._handlers: dict[int, Handler] = {}
+        #: live extension registry, consulted *before* the built-in
+        #: handlers so deployments can override any op ("the codes used
+        #: in this protocol can be expanded").  Extension code is
+        #: unknown code: it always runs on the worker pool.
+        self.overrides: dict[
+            int, Callable[[ControlMessage, str], Optional[ControlMessage]]
+        ] = {}
+        self._guards: list[Guard] = []
+        self._default: Optional[Handler] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = threading.Event()
+
+    # -- registry --------------------------------------------------------
+
+    def register(
+        self,
+        op: int,
+        fn: Callable[[ControlMessage, str], Optional[ControlMessage]],
+        blocking: bool = False,
+    ) -> None:
+        """Map ``op`` to ``fn`` (replacing any previous handler).
+
+        ``blocking=True`` routes execution to the worker pool — required
+        for anything that runs user code, does I/O, or waits on replies
+        that arrive over the same event loop.
+        """
+        self._handlers[op] = Handler(fn, blocking=blocking)
+
+    def unregister(self, op: int) -> None:
+        self._handlers.pop(op, None)
+
+    def set_default(
+        self, fn: Callable[[ControlMessage, str], Optional[ControlMessage]]
+    ) -> None:
+        """Handler for ops with no registration (the ERROR-reply fallback)."""
+        self._default = Handler(fn, blocking=False)
+
+    def add_guard(self, guard: Guard) -> None:
+        """Install an authorize-stage check run before every handler."""
+        self._guards.append(guard)
+
+    def registered_ops(self) -> list[int]:
+        return sorted(self._handlers)
+
+    # -- stage 1: decode -------------------------------------------------
+
+    def decode(self, frame: Frame) -> Optional[ControlMessage]:
+        """Frame → message, or ``None`` for undecodable traffic."""
+        try:
+            return ControlMessage.from_frame(frame)
+        except ProtocolError:
+            return None
+
+    # -- stages 2-4: authorize, lookup, respond --------------------------
+
+    def dispatch(
+        self, message: ControlMessage, peer: str, respond: Respond
+    ) -> None:
+        """Run one decoded request through guards and its handler.
+
+        Never raises: handler faults become ERROR replies, and respond
+        failures (peer vanished mid-reply) are swallowed — the control
+        plane's callers retry on timeout, not on our exceptions.
+        """
+        if self._closed.is_set():
+            return
+        for guard in self._guards:
+            try:
+                veto = guard(message, peer)
+            except Exception as exc:
+                veto = message.reply(Op.ERROR, {"error": str(exc)})
+            if veto is DROP:
+                return
+            if veto is not None:
+                self._respond(veto, respond)
+                return
+        override = self.overrides.get(message.op)
+        if override is not None:
+            handler = Handler(override, blocking=True)
+        else:
+            handler = self._handlers.get(message.op, self._default)
+        if handler is None:
+            return
+        if handler.blocking:
+            try:
+                self._ensure_pool().submit(
+                    self._run_handler, handler, message, peer, respond
+                )
+            except RuntimeError:
+                pass  # pool shut down mid-dispatch: the proxy is closing
+        else:
+            self._run_handler(handler, message, peer, respond)
+
+    def _run_handler(
+        self, handler: Handler, message: ControlMessage, peer: str, respond: Respond
+    ) -> None:
+        try:
+            reply = handler.fn(message, peer)
+        except Exception as exc:  # any handler fault becomes an ERROR reply
+            reply = message.reply(Op.ERROR, {"error": str(exc)})
+        if reply is not None:
+            self._respond(reply, respond)
+
+    def _respond(self, reply: ControlMessage, respond: Respond) -> None:
+        try:
+            respond(reply)
+        except Exception:
+            pass  # peer vanished mid-reply
+
+    # -- the worker pool -------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self._closed.is_set():
+                    raise RuntimeError(f"{self.name}: pipeline closed")
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=f"{self.name}-worker",
+                )
+            return self._pool
+
+    def submit_blocking(self, fn: Callable[[], None]) -> None:
+        """Run arbitrary blocking work on the pool (off-pipeline users)."""
+        self._ensure_pool().submit(fn)
+
+    def pool_started(self) -> bool:
+        with self._pool_lock:
+            return self._pool is not None
+
+    def close(self) -> None:
+        """Stop accepting work and join the pool (idempotent)."""
+        self._closed.set()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -22,7 +22,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.control.accounting import UsageLedger
 from repro.control.retry import RetryPolicy
-from repro.core.proxy import ProxyError, ProxyServer
+from repro.core.proxy import ProxyServer
 from repro.core.routing import GridDirectory
 from repro.core.site import Site, TaskRegistry
 from repro.mpi.communicator import Communicator
@@ -32,6 +32,11 @@ from repro.security.ca import CertificationAuthority
 from repro.security.rsa import RsaKeyPair
 from repro.security.tickets import TicketService
 from repro.transport.inproc import InprocFabric
+from repro.transport.reactor import (
+    ReactorTcpListener,
+    connect_tcp_reactor,
+    io_mode,
+)
 from repro.transport.tcp import TcpListener, connect_tcp
 
 __all__ = ["Grid", "GridError"]
@@ -61,13 +66,22 @@ class Grid:
         key_bits: int = 512,
         channel_wrapper: Optional[Callable[[Any], Any]] = None,
         handshake_retry: Optional[RetryPolicy] = None,
+        io: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
     ):
         """``channel_wrapper`` interposes on every dialed raw channel —
         the chaos suite injects faults there; ``handshake_retry`` governs
-        redials when a tunnel handshake is interrupted mid-flight."""
+        redials when a tunnel handshake is interrupted mid-flight.
+
+        ``io`` selects the I/O engine (``"reactor"`` | ``"threaded"``,
+        default from ``$REPRO_IO``); ``heartbeat_interval`` arms each
+        proxy's jittered heartbeat timer on the shared reactor so the
+        failure detectors run without caller discipline."""
         if transport not in ("inproc", "tcp"):
             raise GridError(f"unknown transport: {transport!r}")
         self.transport = transport
+        self.io = io_mode(io)
+        self.heartbeat_interval = heartbeat_interval
         self.clock = clock or time.time
         self.key_bits = key_bits
         self.channel_wrapper = channel_wrapper
@@ -129,6 +143,7 @@ class Grid:
             directory=self.directory,
             users=self.users,
             acl=self.acl,
+            io=self.io,
         )
         proxy.ledger = self.ledger
         self._start_listening(proxy, address)
@@ -164,6 +179,7 @@ class Grid:
             directory=self.directory,
             users=self.users,
             acl=self.acl,
+            io=self.io,
         )
         proxy.ledger = self.ledger
         self._start_listening(proxy, address)
@@ -173,7 +189,10 @@ class Grid:
     def _make_address(self, proxy_name: str) -> str:
         if self.transport == "inproc":
             return f"{proxy_name}.tunnel"
-        listener = TcpListener()
+        if self.io == "reactor":
+            listener: TcpListener = ReactorTcpListener()
+        else:
+            listener = TcpListener()
         self._tcp_listeners[proxy_name] = listener
         return f"{listener.host}:{listener.port}"
 
@@ -182,13 +201,18 @@ class Grid:
             proxy.listen(self._fabric.listen(address))
         else:
             proxy.listen(self._tcp_listeners[proxy.name])
+        if self.heartbeat_interval is not None:
+            proxy.start_heartbeats(self.heartbeat_interval)
 
     def _dial(self, address: str):
         if self.transport == "inproc":
             raw = self._fabric.connect(address)
         else:
             host, _, port = address.rpartition(":")
-            raw = connect_tcp(host, int(port))
+            if self.io == "reactor":
+                raw = connect_tcp_reactor(host, int(port))
+            else:
+                raw = connect_tcp(host, int(port))
         if self.channel_wrapper is not None:
             raw = self.channel_wrapper(raw)
         return raw

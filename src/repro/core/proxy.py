@@ -30,6 +30,7 @@ from typing import Any, Callable, Optional
 
 from repro.control.failure import FailureDetector, PeerState
 from repro.control.retry import RetryError, RetryPolicy
+from repro.core.dispatch import DROP, DispatchPipeline
 from repro.core.multiplexer import GridRouter
 from repro.core.protocol import (
     IDEMPOTENT_OPS,
@@ -109,6 +110,8 @@ class ProxyServer:
         retry_policy: Optional[RetryPolicy] = None,
         suspect_after: float = 3.0,
         dead_after: float = 10.0,
+        io: Optional[str] = None,
+        dispatch_workers: int = 4,
     ):
         self.name = name
         self.site = site
@@ -120,6 +123,9 @@ class ProxyServer:
         self.directory = directory
         self.users = users or UserDirectory()
         self.acl = acl or AccessControlList(self.users)
+        #: I/O mode for this proxy's tunnels: "reactor" | "threaded" |
+        #: None (resolve from $REPRO_IO at tunnel start)
+        self.io = io
         self._tunnels: dict[str, Tunnel] = {}
         self._tunnel_lock = threading.Lock()
         self._tracker = RequestTracker()
@@ -127,6 +133,9 @@ class ProxyServer:
         self._inflight_lock = threading.Lock()
         self._listener: Optional[Listener] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._handshake_threads: list[threading.Thread] = []
+        self._handshake_lock = threading.Lock()
+        self._heartbeat_timer = None
         self._routers: dict[str, GridRouter] = {}
         self._spaces: dict[str, AppSpace] = {}
         self._space_lock = threading.Lock()
@@ -135,8 +144,15 @@ class ProxyServer:
         self.last_heard: dict[str, float] = {}
         #: pluggable hooks (the failure detector and tests subscribe here)
         self.on_peer_lost: list[Callable[[str], None]] = []
-        #: extension op handlers: op code -> fn(message, peer) -> reply | None
-        self.extension_handlers: dict[int, Callable[[ControlMessage, str], Optional[ControlMessage]]] = {}
+        #: the layered control-plane pipeline: decode → authorize →
+        #: handler lookup → respond, blocking handlers on a sized pool
+        self.pipeline = DispatchPipeline(
+            name=f"{name}-dispatch", workers=dispatch_workers
+        )
+        self._register_handlers()
+        #: extension op handlers: op code -> fn(message, peer) -> reply |
+        #: None.  Checked before the built-ins; always run on the pool.
+        self.extension_handlers = self.pipeline.overrides
         #: optional usage ledger (reward mechanisms); set by the Grid
         self.ledger = None
         #: retry policy for idempotent control requests (None disables)
@@ -165,12 +181,24 @@ class ProxyServer:
                     if self._closing.is_set():
                         return
                     continue
-                threading.Thread(
+                if self._closing.is_set():
+                    raw.close()
+                    return
+                # Handshakes run off the accept loop (a slow or hostile
+                # dialer must not block other connections); the threads
+                # are tracked so shutdown can join them.
+                worker = threading.Thread(
                     target=self._accept_tunnel,
                     args=(raw,),
                     daemon=True,
                     name=f"{self.name}-accept",
-                ).start()
+                )
+                with self._handshake_lock:
+                    self._handshake_threads = [
+                        t for t in self._handshake_threads if t.is_alive()
+                    ]
+                    self._handshake_threads.append(worker)
+                worker.start()
 
         self._accept_thread = threading.Thread(
             target=accept_loop, daemon=True, name=f"{self.name}-listener"
@@ -236,6 +264,11 @@ class ProxyServer:
         return tunnel
 
     def _install_tunnel(self, tunnel: Tunnel) -> None:
+        if self._closing.is_set():
+            # A handshake that completed mid-shutdown must not resurrect
+            # the proxy: refuse the tunnel instead of installing it.
+            tunnel.close()
+            return
         tunnel.on_frame(FrameKind.CONTROL, lambda f: self._on_control(tunnel, f))
         tunnel.on_frame(FrameKind.MPI, lambda f: self._on_mpi(tunnel, f))
         tunnel.on_frame(FrameKind.HEARTBEAT, lambda f: self._on_heartbeat(tunnel, f))
@@ -247,7 +280,7 @@ class ProxyServer:
             self._tunnels[tunnel.peer_name] = tunnel
         self.last_heard[tunnel.peer_name] = self.clock()
         self.health.watch(tunnel.peer_name)
-        tunnel.start()
+        tunnel.start(self.io)
 
     def _cancel_inflight_for_peer(self, tunnel: Tunnel) -> None:
         with self._inflight_lock:
@@ -390,53 +423,79 @@ class ProxyServer:
         return reply
 
     def _on_control(self, tunnel: Tunnel, frame: Frame) -> None:
-        try:
-            message = ControlMessage.from_frame(frame)
-        except ProtocolError:
+        message = self.pipeline.decode(frame)
+        if message is None:
             return  # corrupt control traffic is discarded
         self.last_heard[tunnel.peer_name] = self.clock()
         self.health.heard_from(tunnel.peer_name)
         if message.is_reply():
             self._tracker.fulfil(message)
             return
-        try:
-            reply = self._dispatch(message, tunnel.peer_name)
-        except Exception as exc:  # any handler fault becomes an ERROR reply
-            reply = message.reply(Op.ERROR, {"error": str(exc)})
-        if reply is not None:
-            try:
-                self._send_control(tunnel, reply)
-            except TunnelError:
-                pass  # peer vanished mid-reply
-
-    def _dispatch(
-        self, message: ControlMessage, peer: str
-    ) -> Optional[ControlMessage]:
-        handler = self.extension_handlers.get(message.op)
-        if handler is not None:
-            return handler(message, peer)
-        if message.op == Op.HELLO:
-            return None
-        if message.op == Op.PING:
-            return message.reply(Op.PONG, {"proxy": self.name})
-        if message.op == Op.STATUS_QUERY:
-            return message.reply(Op.STATUS_REPORT, {"status": self.local_status()})
-        if message.op == Op.LOCATE_RESOURCE:
-            node = message.body.get("node", "")
-            site = self.directory.find_node(node)
-            return message.reply(Op.RESOURCE_FOUND, {"node": node, "site": site})
-        if message.op == Op.AUTH_CHECK:
-            return self._handle_auth_check(message, peer)
-        if message.op == Op.JOB_SUBMIT:
-            return self._handle_job_submit(message, peer)
-        if message.op == Op.MPI_START:
-            return self._handle_mpi_start(message)
-        if message.op == Op.MPI_END:
-            self.end_app(message.body.get("app", ""))
-            return message.reply(Op.MPI_ENDED, {})
-        return message.reply(
-            Op.ERROR, {"error": f"unhandled op {Op.name_of(message.op)}"}
+        self.pipeline.dispatch(
+            message,
+            tunnel.peer_name,
+            respond=lambda reply: self._send_control(tunnel, reply),
         )
+
+    def _register_handlers(self) -> None:
+        """Wire the op registry (built-ins) and the authorize guard.
+
+        ``JOB_SUBMIT`` is ``blocking``: it runs user task code, which
+        must never stall the shared event loop (and could deadlock it by
+        waiting on traffic the same loop delivers).  Everything else is
+        a bounded in-memory operation and runs inline.
+        """
+        pipe = self.pipeline
+        pipe.add_guard(self._guard_sender_identity)
+        pipe.register(Op.HELLO, lambda message, peer: None)
+        pipe.register(
+            Op.PING,
+            lambda message, peer: message.reply(Op.PONG, {"proxy": self.name}),
+        )
+        pipe.register(
+            Op.STATUS_QUERY,
+            lambda message, peer: message.reply(
+                Op.STATUS_REPORT, {"status": self.local_status()}
+            ),
+        )
+        pipe.register(Op.LOCATE_RESOURCE, self._handle_locate)
+        pipe.register(Op.AUTH_CHECK, self._handle_auth_check)
+        pipe.register(Op.JOB_SUBMIT, self._handle_job_submit, blocking=True)
+        pipe.register(
+            Op.MPI_START, lambda message, peer: self._handle_mpi_start(message)
+        )
+        pipe.register(Op.MPI_END, self._handle_mpi_end)
+        pipe.set_default(
+            lambda message, peer: message.reply(
+                Op.ERROR, {"error": f"unhandled op {Op.name_of(message.op)}"}
+            )
+        )
+
+    def _guard_sender_identity(self, message: ControlMessage, peer: str):
+        """Authorize stage: the claimed sender must be the handshake peer.
+
+        The tunnel already authenticated ``peer`` cryptographically; a
+        message claiming to be from someone else is spoofed and silently
+        discarded ("discarding unauthorized traffic").  Anonymous
+        messages (empty sender) pass — identity then rests solely on the
+        tunnel's certificate, which is what handlers key on anyway.
+        """
+        if message.sender and message.sender != peer:
+            return DROP
+        return None
+
+    def _handle_locate(
+        self, message: ControlMessage, peer: str
+    ) -> ControlMessage:
+        node = message.body.get("node", "")
+        site = self.directory.find_node(node)
+        return message.reply(Op.RESOURCE_FOUND, {"node": node, "site": site})
+
+    def _handle_mpi_end(
+        self, message: ControlMessage, peer: str
+    ) -> ControlMessage:
+        self.end_app(message.body.get("app", ""))
+        return message.reply(Op.MPI_ENDED, {})
 
     # ------------------------------------------------------------------
     # Layer 2: authentication and permissions
@@ -814,7 +873,7 @@ class ProxyServer:
             tunnel.on_frame(
                 FrameKind.CONTROL, lambda f: self._on_control(tunnel, f)
             )
-            tunnel.start()
+            tunnel.start(self.io)
             result["tunnel"] = tunnel
 
         server = threading.Thread(
@@ -861,6 +920,35 @@ class ProxyServer:
             except TunnelError:
                 pass
 
+    def start_heartbeats(self, interval: float, jitter: float = 0.1):
+        """Heartbeat on a reactor timer instead of caller discipline.
+
+        Every ``interval`` seconds (jittered ±``jitter``·interval so a
+        grid of proxies doesn't beat in lockstep) the proxy emits
+        heartbeats on all tunnels *and* re-evaluates the failure
+        detector — silent peers transition to SUSPECT/DEAD on the timer,
+        with no monitor thread and no manual ``check()`` calls.
+        Idempotent; returns the timer handle.
+        """
+        if self._heartbeat_timer is None:
+            from repro.transport.reactor import get_global_reactor
+
+            self._heartbeat_timer = get_global_reactor().call_every(
+                interval, self._heartbeat_tick, jitter=jitter
+            )
+        return self._heartbeat_timer
+
+    def stop_heartbeats(self) -> None:
+        timer, self._heartbeat_timer = self._heartbeat_timer, None
+        if timer is not None:
+            timer.cancel()
+
+    def _heartbeat_tick(self) -> None:
+        if self._closing.is_set():
+            return
+        self.send_heartbeats()
+        self.health.check()
+
     def _on_heartbeat(self, tunnel: Tunnel, frame: Frame) -> None:
         self.last_heard[tunnel.peer_name] = self.clock()
         self.health.heard_from(tunnel.peer_name)
@@ -873,13 +961,35 @@ class ProxyServer:
         return not self._closing.is_set()
 
     def shutdown(self) -> None:
+        """Stop serving, in dependency order, and reap every worker.
+
+        Listener first (no new connections), then the accept loop and
+        any in-flight handshakes are joined, *then* tunnels close and
+        their delivery paths are joined, and finally the dispatch pool
+        stops.  The old ordering closed the listener and tunnels in one
+        breath with no joins, so a shutdown could race its own accept
+        loop into installing a fresh tunnel on a half-dead proxy.
+        """
+        if self._closing.is_set():
+            return
         self._closing.set()
+        self.stop_heartbeats()
         if self._listener is not None:
             self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._handshake_lock:
+            handshakes = list(self._handshake_threads)
+            self._handshake_threads = []
+        for worker in handshakes:
+            worker.join(timeout=5.0)
         with self._tunnel_lock:
             tunnels = list(self._tunnels.values())
         for tunnel in tunnels:
             tunnel.close()
+        for tunnel in tunnels:
+            tunnel.join(timeout=5.0)
+        self.pipeline.close()
         with self._space_lock:
             for router in self._routers.values():
                 router.close()

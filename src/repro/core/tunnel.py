@@ -7,9 +7,16 @@ on the assumption that communication inside the site is already safe."
 A :class:`Tunnel` is the secure pipe between two proxies: it runs the
 SSL-like handshake over whatever raw channel connects them (in-process or
 TCP), then carries control, MPI and data frames with record protection.
-A background receiver thread demultiplexes inbound frames to registered
-handlers by frame kind, so one tunnel serves the control protocol and any
-number of multiplexed MPI applications concurrently.
+Inbound frames are demultiplexed to registered handlers by frame kind, so
+one tunnel serves the control protocol and any number of multiplexed MPI
+applications concurrently.
+
+Delivery is event-driven by default: :meth:`Tunnel.start` registers the
+secure channel on the shared reactor, so N tunnels cost O(loops) threads
+instead of one receiver thread each.  ``REPRO_IO=threaded`` (or a channel
+that does not speak the reactor protocol) falls back to the seed's
+thread-per-tunnel receive loop — same handler contract, same close
+semantics.
 """
 
 from __future__ import annotations
@@ -27,14 +34,25 @@ from repro.security.handshake import (
 )
 from repro.security.rsa import RsaKeyPair, RsaPublicKey
 from repro.transport.channel import Channel
-from repro.transport.errors import TransportError, TransportTimeout
+from repro.transport.errors import ChannelBusy, TransportError, TransportTimeout
 from repro.transport.frames import Frame, FrameKind
+from repro.transport.reactor import get_global_reactor, io_mode
 
-__all__ = ["Tunnel", "TunnelError"]
+__all__ = ["Tunnel", "TunnelBusy", "TunnelError"]
 
 
 class TunnelError(Exception):
     """Handshake failure or use of a dead tunnel."""
+
+
+class TunnelBusy(TunnelError):
+    """The peer is slow and the tunnel's write queue is full.
+
+    Unlike every other :class:`TunnelError`, the tunnel is still *up*:
+    backpressure is congestion, not failure, so the send is simply
+    refused and may be retried.  Closing the tunnel here would turn a
+    slow consumer into an outage.
+    """
 
 
 class Tunnel:
@@ -53,9 +71,14 @@ class Tunnel:
         self._handlers: dict[FrameKind, Callable[[Frame], None]] = {}
         self._close_callbacks: list[Callable[["Tunnel"], None]] = []
         self._receiver: Optional[threading.Thread] = None
+        self._registration = None  # reactor membership, when event-driven
         self._running = threading.Event()
         self._closed = threading.Event()
+        self._finalized = threading.Event()
+        self._finalize_lock = threading.Lock()
         self._send_lock = threading.Lock()
+        #: "reactor" | "threaded" | None (not started)
+        self.mode: Optional[str] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -177,17 +200,39 @@ class Tunnel:
     def on_close(self, callback: Callable[["Tunnel"], None]) -> None:
         self._close_callbacks.append(callback)
 
-    def start(self) -> None:
-        """Start the background receiver; idempotent."""
-        if self._receiver is not None:
+    def start(self, io: Optional[str] = None) -> None:
+        """Start inbound delivery; idempotent.
+
+        With ``io="reactor"`` (the default, via ``$REPRO_IO``) the secure
+        channel joins the shared event loop and frames arrive as loop
+        callbacks; ``"threaded"`` — or a channel that cannot be polled —
+        keeps the seed's dedicated receiver thread.
+        """
+        if self.mode is not None:
             return
         self._running.set()
+        if io_mode(io) == "reactor" and self._secure.supports_reactor:
+            self.mode = "reactor"
+            self._registration = get_global_reactor().add_channel(
+                self._secure,
+                on_frame=self._deliver,
+                on_close=lambda channel, exc: self._finalize(),
+            )
+            return
+        self.mode = "threaded"
         self._receiver = threading.Thread(
             target=self._receive_loop,
             daemon=True,
             name=f"tunnel-{self.local_name}->{self.peer_name}",
         )
         self._receiver.start()
+
+    def _deliver(self, frame: Frame) -> None:
+        handler = self._handlers.get(frame.kind)
+        if handler is not None:
+            handler(frame)
+        # Unhandled kinds are dropped: "discarding unauthorized
+        # traffic" is the security layer's default posture.
 
     def _receive_loop(self) -> None:
         try:
@@ -200,16 +245,34 @@ class Tunnel:
                     break  # includes ChannelClosed: peer is gone
                 except HandshakeError:
                     break  # record verification failed: hostile or corrupt peer
-                handler = self._handlers.get(frame.kind)
-                if handler is not None:
-                    handler(frame)
-                # Unhandled kinds are dropped: "discarding unauthorized
-                # traffic" is the security layer's default posture.
+                self._deliver(frame)
         finally:
-            self._running.clear()
-            self._closed.set()
-            for callback in list(self._close_callbacks):
-                callback(self)
+            self._finalize()
+
+    def _finalize(self) -> None:
+        """Mark the tunnel dead and fire close callbacks exactly once."""
+        with self._finalize_lock:
+            if self._finalized.is_set():
+                return
+            self._finalized.set()
+        self._running.clear()
+        self._closed.set()
+        for callback in list(self._close_callbacks):
+            callback(self)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until inbound delivery has fully stopped.
+
+        Returns True once close callbacks have fired (or the tunnel was
+        never started).  Shutdown paths use this so no receiver — thread
+        or loop registration — outlives its proxy.
+        """
+        if self.mode is None:
+            return True
+        if self.mode == "threaded" and self._receiver is not None:
+            self._receiver.join(timeout=timeout)
+            return not self._receiver.is_alive()
+        return self._finalized.wait(timeout=timeout)
 
     # -- traffic -------------------------------------------------------------------
 
@@ -221,6 +284,9 @@ class Tunnel:
         try:
             with self._send_lock:
                 self._secure.send(frame)
+        except ChannelBusy as exc:
+            # Backpressure: the tunnel is congested, not broken.
+            raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
@@ -242,6 +308,8 @@ class Tunnel:
         try:
             with self._send_lock:
                 self._secure.send_many(frames)
+        except ChannelBusy as exc:
+            raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc

@@ -130,18 +130,25 @@ class Communicator:
         return request
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Non-blocking receive running on a helper thread."""
+        """Non-blocking receive, completed by message arrival.
+
+        No helper thread: the request is parked on the endpoint and the
+        delivering thread (a local sender or the reactor loop carrying
+        tunnel traffic) completes it.  ``wait`` blocks as before.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        if tag != ANY_TAG:
+            self._check_tag(tag)
         request = Request()
 
-        def worker() -> None:
-            try:
-                value = self.recv(source=source, tag=tag)
-            except BaseException as exc:
-                request._complete(error=exc)
+        def on_match(envelope, error) -> None:
+            if error is not None:
+                request._complete(error=error)
             else:
-                request._complete(value=value)
+                request._complete(value=envelope.payload)
 
-        threading.Thread(target=worker, daemon=True).start()
+        self._endpoint.match_async(source, tag, on_match)
         return request
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:

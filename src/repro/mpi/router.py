@@ -38,19 +38,37 @@ class Endpoint:
         self._pending: list[Envelope] = []
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
+        #: async receivers: (source, tag, callback) in registration order
+        self._waiters: list[tuple[int, int, Callable]] = []
         self._closed = False
 
     def deliver(self, envelope: Envelope) -> None:
+        callback = None
         with self._arrival:
             if self._closed:
                 raise RouterError(f"endpoint {self.rank} is closed")
-            self._pending.append(envelope)
-            self._arrival.notify_all()
+            # Async receivers take precedence: the first registered
+            # waiter whose (source, tag) pattern matches consumes the
+            # envelope directly, without it ever entering the mailbox.
+            for index, (source, tag, cb) in enumerate(self._waiters):
+                if source in (-1, envelope.source) and tag in (-1, envelope.tag):
+                    callback = cb
+                    del self._waiters[index]
+                    break
+            else:
+                self._pending.append(envelope)
+                self._arrival.notify_all()
+        if callback is not None:
+            callback(envelope, None)
 
     def close(self) -> None:
         with self._arrival:
             self._closed = True
+            waiters, self._waiters = self._waiters, []
             self._arrival.notify_all()
+        error = RouterError(f"endpoint {self.rank} closed while receiving")
+        for _, _, callback in waiters:
+            callback(None, error)
 
     def _find(self, source: int, tag: int) -> Optional[int]:
         for index, envelope in enumerate(self._pending):
@@ -82,6 +100,31 @@ class Endpoint:
                             f"tag={tag} within {timeout}s"
                         )
                 self._arrival.wait(timeout=remaining)
+
+    def match_async(
+        self, source: int, tag: int, callback: Callable
+    ) -> None:
+        """Event-driven receive: ``callback(envelope, error)`` fires once.
+
+        If a matching message is already pending it is consumed and the
+        callback runs immediately on the caller's thread; otherwise the
+        waiter is parked and :meth:`deliver` completes it on the
+        deliverer's thread (the reactor loop, for tunnel traffic).  This
+        is what lets ``irecv`` cost a list entry instead of a thread.
+        """
+        with self._arrival:
+            if not self._closed:
+                index = self._find(source, tag)
+                if index is not None:
+                    envelope = self._pending.pop(index)
+                    error = None
+                else:
+                    self._waiters.append((source, tag, callback))
+                    return
+            else:
+                envelope = None
+                error = RouterError(f"endpoint {self.rank} closed while receiving")
+        callback(envelope, error)
 
     def peek(self, source: int, tag: int) -> Optional[Envelope]:
         """Non-destructive probe for a matching message."""

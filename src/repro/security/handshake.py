@@ -37,7 +37,6 @@ import hmac
 import secrets
 from typing import Callable, Optional
 
-from repro.security.ca import CertificationAuthority
 from repro.security.certs import Certificate, CertificateError
 from repro.security.cipher import CIPHER_SUITES, RecordCipher, derive_session_keys
 from repro.security.dh import DiffieHellman
@@ -151,6 +150,9 @@ class SecureChannel(Channel):
 
     def recv(self, timeout: Optional[float] = None) -> Frame:
         carrier = self._inner.recv(timeout=timeout)
+        return self._open_record(carrier)
+
+    def _open_record(self, carrier: Frame) -> Frame:
         try:
             plaintext = self._recv_cipher.open(carrier.payload)
             frame = decode_frame(plaintext)
@@ -158,6 +160,26 @@ class SecureChannel(Channel):
             raise HandshakeError(f"record verification failed: {exc}") from exc
         self.stats.on_receive(len(carrier.payload))
         return frame
+
+    # -- reactor protocol: records open wherever the inner transport polls --
+
+    def poll_recv(self) -> Optional[Frame]:
+        carrier = self._inner.poll_recv()
+        if carrier is None:
+            return None
+        return self._open_record(carrier)
+
+    @property
+    def supports_reactor(self) -> bool:
+        return self._inner.supports_reactor
+
+    def set_ready_callback(self, callback) -> None:
+        self._inner.set_ready_callback(callback)
+
+    @property
+    def reactor_loop(self):
+        """Pin to the loop owning the wrapped transport, if any."""
+        return getattr(self._inner, "reactor_loop", None)
 
     def close(self) -> None:
         self._inner.close()

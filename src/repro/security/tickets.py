@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.security.auth import AuthenticationError, UserDirectory
+from repro.security.auth import UserDirectory
 from repro.security.rsa import RsaKeyPair, RsaPublicKey
 from repro.transport.frames import decode_value, encode_value
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry", "TimeSeries"]
 

@@ -14,7 +14,7 @@ drain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.simulation.engine import Queue, Simulator

@@ -17,7 +17,7 @@ the paper's requirement is about, and it is what experiment E12 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.simulation.engine import Event, Simulator
 from repro.simulation.randomness import RandomStream

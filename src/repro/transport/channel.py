@@ -79,6 +79,37 @@ class Channel(abc.ABC):
     def closed(self) -> bool:
         """True once the channel can no longer send."""
 
+    # -- reactor protocol (optional) ----------------------------------------
+    #
+    # Channels that can be driven by the shared event loop implement three
+    # extra methods; layered channels (secure, faulty) delegate to their
+    # inner transport so support propagates up the stack.  Channels that
+    # only support blocking ``recv`` (the threaded TcpChannel, UDP) leave
+    # ``supports_reactor`` False and keep their dedicated reader threads.
+
+    @property
+    def supports_reactor(self) -> bool:
+        """True when poll_recv/set_ready_callback are functional."""
+        return False
+
+    def poll_recv(self) -> Optional[Frame]:
+        """Non-blocking receive: next frame, or None when nothing is ready.
+
+        Raises exactly what :meth:`recv` raises on terminal conditions
+        (ChannelClosed, FrameError, ...) but never TransportTimeout.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not reactor-capable")
+
+    def set_ready_callback(self, callback: Optional[Callable[[], None]]) -> None:
+        """Install ``callback`` to fire whenever frames *may* be readable.
+
+        The callback must be cheap and thread-safe: it is invoked from
+        whatever thread delivered the data (a peer's send, the event
+        loop's socket reader, a close).  Spurious invocations are fine —
+        the consumer drains with :meth:`poll_recv` until None.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not reactor-capable")
+
     def __enter__(self) -> "Channel":
         return self
 

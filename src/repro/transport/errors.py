@@ -10,6 +10,7 @@ frame is discarded).
 from __future__ import annotations
 
 __all__ = [
+    "ChannelBusy",
     "ChannelClosed",
     "CodecError",
     "FrameError",
@@ -24,6 +25,17 @@ class TransportError(Exception):
 
 class ChannelClosed(TransportError):
     """The peer closed the channel or it was closed locally."""
+
+
+class ChannelBusy(TransportError):
+    """A bounded send queue stayed full past the send deadline.
+
+    Backpressure made visible: the peer is draining slower than the
+    caller produces and the channel refuses to buffer without bound.
+    The channel itself is still healthy — the caller may retry, shed
+    load, or treat the peer as degraded; closing the channel over a
+    transient ``ChannelBusy`` would turn congestion into an outage.
+    """
 
 
 class TransportTimeout(TransportError):

@@ -236,6 +236,69 @@ class FaultyChannel(Channel):
 
     # -- receive path ------------------------------------------------------
 
+    def _apply_recv_fault(self, frame: Frame) -> Optional[Frame]:
+        """Fault one inbound frame; None means it was dropped."""
+        with self._lock:
+            index = self._recv_index
+            self._recv_index += 1
+        action, detail = self.injector.decide("recv", index)
+        if action == "drop":
+            return None
+        if action == "corrupt":
+            frame = Frame(
+                kind=frame.kind,
+                channel=frame.channel,
+                headers=frame.headers,
+                payload=self.injector.mutate(frame.payload, detail),
+            )
+        elif action == "truncate":
+            cut = int(detail * len(frame.payload))
+            frame = Frame(
+                kind=frame.kind,
+                channel=frame.channel,
+                headers=frame.headers,
+                payload=frame.payload[:cut],
+            )
+        elif action == "disconnect":
+            self.close()
+            raise ChannelClosed(f"{self.name}: injected disconnect")
+        elif action == "delay":
+            self._sleep(detail)
+        return frame
+
+    def poll_recv(self) -> Optional[Frame]:
+        """Non-blocking receive with the same fault schedule as ``recv``.
+
+        Lets the reactor drive a fault-injected channel: dropped frames
+        simply never surface (the loop polls again on the next ready
+        signal), delays stall briefly (bounded by the plan), and
+        disconnects close the channel mid-drain.
+        """
+        while True:
+            frame = self._inner.poll_recv()
+            if frame is None:
+                return None
+            if not self._on_recv:
+                self.stats.on_receive(len(frame.payload))
+                return frame
+            frame = self._apply_recv_fault(frame)
+            if frame is None:
+                continue  # dropped: the frame never "arrived"
+            self.stats.on_receive(len(frame.payload))
+            return frame
+
+    @property
+    def supports_reactor(self) -> bool:
+        return self._inner.supports_reactor
+
+    def set_ready_callback(self, callback) -> None:
+        self._inner.set_ready_callback(callback)
+
+    @property
+    def reactor_loop(self):
+        """Pin to the loop owning the wrapped transport, if any."""
+        return getattr(self._inner, "reactor_loop", None)
+
     def recv(self, timeout: Optional[float] = None) -> Frame:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -246,34 +309,11 @@ class FaultyChannel(Channel):
             if not self._on_recv:
                 self.stats.on_receive(len(frame.payload))
                 return frame
-            with self._lock:
-                index = self._recv_index
-                self._recv_index += 1
-            action, detail = self.injector.decide("recv", index)
-            if action == "drop":
+            frame = self._apply_recv_fault(frame)
+            if frame is None:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise TransportTimeout(f"{self.name}: recv timed out")
                 continue  # the frame never "arrived"; keep waiting
-            if action == "corrupt":
-                frame = Frame(
-                    kind=frame.kind,
-                    channel=frame.channel,
-                    headers=frame.headers,
-                    payload=self.injector.mutate(frame.payload, detail),
-                )
-            elif action == "truncate":
-                cut = int(detail * len(frame.payload))
-                frame = Frame(
-                    kind=frame.kind,
-                    channel=frame.channel,
-                    headers=frame.headers,
-                    payload=frame.payload[:cut],
-                )
-            elif action == "disconnect":
-                self.close()
-                raise ChannelClosed(f"{self.name}: injected disconnect")
-            elif action == "delay":
-                self._sleep(detail)
             self.stats.on_receive(len(frame.payload))
             return frame
 

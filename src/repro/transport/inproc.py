@@ -4,32 +4,53 @@ The single-process runtime (examples, integration tests, MPI ranks as
 threads) uses these channels.  Semantics match TCP: ordered, reliable,
 close propagates to the peer, receive drains buffered frames before
 reporting closure.
+
+The channel is reactor-capable: frames can be consumed with blocking
+``recv`` or drained non-blocking via ``poll_recv`` under a ready
+callback, so tunnels over in-process pairs run on the shared event loop
+exactly like tunnels over TCP.  An optional ``maxsize`` bounds the
+peer's inbound buffer — a slow consumer then exerts real backpressure
+(``send`` blocks up to ``send_timeout`` and raises
+:class:`~repro.transport.errors.ChannelBusy`), mirroring a full TCP
+socket buffer.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
-from typing import Optional
+import time
+from collections import deque
+from typing import Callable, Optional
 
 from repro.transport.channel import Channel, Listener
-from repro.transport.errors import ChannelClosed, TransportTimeout
+from repro.transport.errors import ChannelBusy, ChannelClosed, TransportTimeout
 from repro.transport.frames import Frame, encode_frame
 
 __all__ = ["InprocChannel", "InprocFabric", "InprocListener", "channel_pair"]
 
-#: Sentinel placed in the queue when the peer closes.
+#: Sentinel placed in the accept queue when a listener closes.
 _EOF = object()
 
 
 class InprocChannel(Channel):
     """One endpoint of an in-process channel pair."""
 
-    def __init__(self, name: str = "inproc"):
+    def __init__(
+        self,
+        name: str = "inproc",
+        maxsize: int = 0,
+        send_timeout: Optional[float] = 10.0,
+    ):
         super().__init__(name=name)
-        self._incoming: "queue.Queue" = queue.Queue()
+        self._buf: deque[Frame] = deque()
+        self._cond = threading.Condition()
+        self._eof = False  # peer is gone; drain _buf then report closure
         self._peer: Optional["InprocChannel"] = None
         self._closed = threading.Event()
+        self._ready_cb: Optional[Callable[[], None]] = None
+        #: bound on buffered inbound frames (0 = unbounded)
+        self.maxsize = maxsize
+        self.send_timeout = send_timeout
         #: count wire bytes as the encoded frame size so in-proc and TCP
         #: report comparable traffic volumes
         self._measure_wire = True
@@ -37,49 +58,113 @@ class InprocChannel(Channel):
     def _bind(self, peer: "InprocChannel") -> None:
         self._peer = peer
 
+    # -- send path ---------------------------------------------------------
+
     def send(self, frame: Frame) -> None:
         if self._closed.is_set():
             raise ChannelClosed(f"{self.name}: send on closed channel")
         peer = self._peer
         if peer is None:
             raise ChannelClosed(f"{self.name}: channel is unbound")
-        if peer._closed.is_set():
-            raise ChannelClosed(f"{self.name}: peer has closed")
+        deadline = (
+            None if self.send_timeout is None
+            else time.monotonic() + self.send_timeout
+        )
+        with peer._cond:
+            while peer.maxsize and len(peer._buf) >= peer.maxsize:
+                if peer._eof or peer._closed.is_set():
+                    break  # closure wins over backpressure
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ChannelBusy(
+                        f"{self.name}: peer buffer full "
+                        f"({peer.maxsize} frames) for {self.send_timeout}s"
+                    )
+                peer._cond.wait(timeout=remaining)
+            if peer._closed.is_set() or peer._eof:
+                raise ChannelClosed(f"{self.name}: peer has closed")
+            peer._buf.append(frame)
+            peer._cond.notify_all()
+            cb = peer._ready_cb
         nbytes = len(encode_frame(frame)) if self._measure_wire else len(frame.payload)
         self.stats.on_send(nbytes)
-        peer._incoming.put(frame)
+        if cb is not None:
+            cb()
+
+    # -- receive path ------------------------------------------------------
 
     def recv(self, timeout: Optional[float] = None) -> Frame:
-        try:
-            item = self._incoming.get(timeout=timeout)
-        except queue.Empty:
-            raise TransportTimeout(f"{self.name}: recv timed out") from None
-        if item is _EOF:
-            # Keep the sentinel visible for subsequent recv calls.
-            self._incoming.put(_EOF)
-            raise ChannelClosed(f"{self.name}: peer closed")
-        nbytes = len(encode_frame(item)) if self._measure_wire else len(item.payload)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._buf:
+                if self._eof:
+                    raise ChannelClosed(f"{self.name}: peer closed")
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TransportTimeout(f"{self.name}: recv timed out")
+                self._cond.wait(timeout=remaining)
+            frame = self._buf.popleft()
+            self._cond.notify_all()  # a bounded buffer just freed a slot
+        nbytes = len(encode_frame(frame)) if self._measure_wire else len(frame.payload)
         self.stats.on_receive(nbytes)
-        return item
+        return frame
+
+    def poll_recv(self) -> Optional[Frame]:
+        with self._cond:
+            if not self._buf:
+                if self._eof:
+                    raise ChannelClosed(f"{self.name}: peer closed")
+                return None
+            frame = self._buf.popleft()
+            self._cond.notify_all()
+        nbytes = len(encode_frame(frame)) if self._measure_wire else len(frame.payload)
+        self.stats.on_receive(nbytes)
+        return frame
+
+    @property
+    def supports_reactor(self) -> bool:
+        return True
+
+    def set_ready_callback(self, callback: Optional[Callable[[], None]]) -> None:
+        self._ready_cb = callback
+
+    def pending_frames(self) -> int:
+        with self._cond:
+            return len(self._buf)
+
+    # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         if self._closed.is_set():
             return
         self._closed.set()
-        peer = self._peer
-        if peer is not None:
-            peer._incoming.put(_EOF)
-        self._incoming.put(_EOF)
+        callbacks = []
+        for endpoint in (self._peer, self):
+            if endpoint is None:
+                continue
+            with endpoint._cond:
+                endpoint._eof = True
+                endpoint._cond.notify_all()
+                if endpoint._ready_cb is not None:
+                    callbacks.append(endpoint._ready_cb)
+        for cb in callbacks:
+            cb()
 
     @property
     def closed(self) -> bool:
         return self._closed.is_set()
 
 
-def channel_pair(name: str = "pair") -> tuple[InprocChannel, InprocChannel]:
+def channel_pair(
+    name: str = "pair", maxsize: int = 0, send_timeout: Optional[float] = 10.0
+) -> tuple[InprocChannel, InprocChannel]:
     """Create a connected channel pair (like socketpair)."""
-    a = InprocChannel(name=f"{name}.a")
-    b = InprocChannel(name=f"{name}.b")
+    a = InprocChannel(name=f"{name}.a", maxsize=maxsize, send_timeout=send_timeout)
+    b = InprocChannel(name=f"{name}.b", maxsize=maxsize, send_timeout=send_timeout)
     a._bind(b)
     b._bind(a)
     return a, b
@@ -91,27 +176,44 @@ class InprocListener(Listener):
     def __init__(self, fabric: "InprocFabric", address: str):
         self._fabric = fabric
         self.address = address
-        self._pending: "queue.Queue" = queue.Queue()
+        self._pending: deque = deque()
+        self._cond = threading.Condition()
         self._closed = threading.Event()
 
     def accept(self, timeout: Optional[float] = None) -> Channel:
         if self._closed.is_set():
             raise ChannelClosed(f"listener {self.address!r} is closed")
-        try:
-            item = self._pending.get(timeout=timeout)
-        except queue.Empty:
-            raise TransportTimeout(f"accept timed out on {self.address!r}") from None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._pending:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TransportTimeout(
+                        f"accept timed out on {self.address!r}"
+                    )
+                self._cond.wait(timeout=remaining)
+            item = self._pending.popleft()
         if item is _EOF:
-            self._pending.put(_EOF)
+            with self._cond:
+                self._pending.appendleft(_EOF)
             raise ChannelClosed(f"listener {self.address!r} is closed")
         return item
+
+    def _offer(self, channel: Channel) -> None:
+        with self._cond:
+            self._pending.append(channel)
+            self._cond.notify_all()
 
     def close(self) -> None:
         if self._closed.is_set():
             return
         self._closed.set()
         self._fabric._unregister(self.address)
-        self._pending.put(_EOF)
+        with self._cond:
+            self._pending.append(_EOF)
+            self._cond.notify_all()
 
 
 class InprocFabric:
@@ -140,7 +242,7 @@ class InprocFabric:
         if listener is None or listener._closed.is_set():
             raise ChannelClosed(f"no listener at {address!r}")
         client, server = channel_pair(name=name or f"conn:{address}")
-        listener._pending.put(server)
+        listener._offer(server)
         return client
 
     def addresses(self) -> list[str]:

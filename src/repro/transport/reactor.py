@@ -1,0 +1,788 @@
+"""Shared reactor I/O: a selectors-based event loop for the whole stack.
+
+The seed runtime spent one thread per ``TcpChannel`` (socket reader) plus
+one per :class:`~repro.core.tunnel.Tunnel` (receive loop), so a proxy
+serving N tunnels burned O(N) threads and its time context-switching.
+This module replaces that with the classic serving-stack migration: one
+(or a few, for multi-core) event-loop thread(s) own every socket, and
+all higher layers register *callbacks* instead of spawning threads.
+
+Three pieces live here:
+
+* :class:`Reactor` — ``loops`` event-loop threads, each with its own
+  ``selectors`` selector, a self-pipe for cross-thread wakeups, and a
+  timer heap (one-shot :meth:`call_later` and jittered periodic
+  :meth:`call_every` — heartbeats and deadline expiry ride these).
+  Channels of *any* transport join via :meth:`add_channel`, which drives
+  the uniform ``poll_recv``/``set_ready_callback`` protocol declared on
+  :class:`~repro.transport.channel.Channel`; in-process and
+  fault-injected channels therefore run on the loop unchanged.
+* :class:`ReactorTcpChannel` — a non-blocking TCP channel owned by a
+  loop: the loop reads and feeds the frame decoder, and outbound frames
+  go through a **bounded per-channel write queue** flushed with the same
+  vectored ``sendmsg`` coalescing as the threaded fast path.  When a slow
+  peer fills the queue, ``send`` blocks up to ``send_timeout`` and then
+  raises :class:`~repro.transport.errors.ChannelBusy` — bounded memory,
+  deterministic backpressure.
+* mode selection — :func:`io_mode` reads ``REPRO_IO`` (``reactor`` is
+  the default; ``threaded`` is the one-release escape hatch that keeps
+  the old thread-per-connection transport alive for head-to-head
+  benchmarking), and :func:`get_global_reactor` hands out the shared
+  process-wide reactor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import random
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.transport.channel import Channel
+from repro.transport.errors import (
+    ChannelBusy,
+    ChannelClosed,
+    FrameError,
+    TransportTimeout,
+)
+from repro.transport.frames import Frame, FrameDecoder, encode_frame_views
+from repro.transport.tcp import TcpListener
+
+__all__ = [
+    "Reactor",
+    "ReactorTcpChannel",
+    "ReactorTcpListener",
+    "TimerHandle",
+    "connect_tcp_reactor",
+    "get_global_reactor",
+    "io_mode",
+    "reset_global_reactor",
+]
+
+_RECV_CHUNK = 64 * 1024
+_EOF = object()
+#: frames delivered per drain pass before yielding to other channels
+_DRAIN_BATCH = 128
+_timer_seq = itertools.count()
+
+
+def io_mode(override: Optional[str] = None) -> str:
+    """Resolve the I/O mode: explicit override, else ``$REPRO_IO``, else reactor."""
+    mode = override or os.environ.get("REPRO_IO", "reactor")
+    if mode not in ("reactor", "threaded"):
+        raise ValueError(f"unknown REPRO_IO mode: {mode!r}")
+    return mode
+
+
+class TimerHandle:
+    """Cancellation handle for a scheduled (possibly periodic) callback."""
+
+    __slots__ = ("interval", "jitter", "callback", "_cancelled", "_loop")
+
+    def __init__(self, callback, interval: Optional[float], jitter: float, loop):
+        self.callback = callback
+        self.interval = interval
+        self.jitter = jitter
+        self._cancelled = False
+        self._loop = loop
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _next_delay(self) -> float:
+        """Period until the next firing, jittered ±``jitter``·interval.
+
+        Jitter decorrelates periodic work (every proxy heartbeating at
+        the same instant is a thundering herd); the bound keeps the
+        failure detector's timing assumptions valid.
+        """
+        assert self.interval is not None
+        if not self.jitter:
+            return self.interval
+        spread = self.interval * self.jitter
+        return max(0.0, self.interval + random.uniform(-spread, spread))
+
+
+class _Registration:
+    """One channel's membership on a loop: ready-flag + drain bookkeeping."""
+
+    __slots__ = ("channel", "on_frame", "on_close", "_loop", "_lock",
+                 "_scheduled", "_closed")
+
+    def __init__(self, channel: Channel, on_frame, on_close, loop: "_Loop"):
+        self.channel = channel
+        self.on_frame = on_frame
+        self.on_close = on_close
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._scheduled = False
+        self._closed = False
+
+    # -- producer side (any thread) ------------------------------------
+
+    def ready(self) -> None:
+        with self._lock:
+            if self._scheduled or self._closed:
+                return
+            self._scheduled = True
+        self._loop.schedule(self._drain)
+
+    # -- loop side -------------------------------------------------------
+
+    def _drain(self) -> None:
+        with self._lock:
+            self._scheduled = False
+            if self._closed:
+                return
+        for _ in range(_DRAIN_BATCH):
+            try:
+                frame = self.channel.poll_recv()
+            except Exception as exc:  # ChannelClosed, FrameError, record MAC…
+                self._finish(exc)
+                return
+            if frame is None:
+                return
+            try:
+                self.on_frame(frame)
+            except Exception:
+                pass  # a faulty handler must not kill the shared loop
+        # Batch exhausted with frames possibly still pending: yield the
+        # loop to other channels and reschedule ourselves.
+        self.ready()
+
+    def _finish(self, exc: Exception) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.channel.set_ready_callback(None)
+        except Exception:
+            pass
+        if self.on_close is not None:
+            try:
+                self.on_close(self.channel, exc)
+            except Exception:
+                pass
+
+    def unregister(self) -> None:
+        """Detach without firing ``on_close`` (the owner is closing)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.channel.set_ready_callback(None)
+        except Exception:
+            pass
+
+
+class _Loop:
+    """One event-loop thread: selector + self-pipe + pending queue + timers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._selector = selectors.DefaultSelector()
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, self._on_wake)
+        self._pending: deque = deque()
+        self._pending_lock = threading.Lock()
+        self._timers: list = []  # heap of (deadline, seq, handle)
+        self._timer_lock = threading.Lock()
+        self._running = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.thread_ident: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._running.set()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=self.name
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running.clear()
+        self.wake()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def on_loop_thread(self) -> bool:
+        return threading.get_ident() == self.thread_ident
+
+    # -- cross-thread entry points --------------------------------------
+
+    def wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe already full → the loop is waking anyway
+
+    def schedule(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the loop thread at the next iteration."""
+        with self._pending_lock:
+            self._pending.append(fn)
+        self.wake()
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        handle = TimerHandle(fn, interval=None, jitter=0.0, loop=self)
+        self._push_timer(max(0.0, delay), handle)
+        return handle
+
+    def call_every(
+        self, interval: float, fn: Callable[[], None], jitter: float = 0.0
+    ) -> TimerHandle:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        handle = TimerHandle(fn, interval=interval, jitter=jitter, loop=self)
+        self._push_timer(handle._next_delay(), handle)
+        return handle
+
+    def _push_timer(self, delay: float, handle: TimerHandle) -> None:
+        deadline = time.monotonic() + delay
+        with self._timer_lock:
+            heapq.heappush(self._timers, (deadline, next(_timer_seq), handle))
+        self.wake()
+
+    # -- fd management (loop thread only; use schedule() from outside) ---
+
+    def register_fd(self, fileobj, events: int, callback) -> None:
+        self._selector.register(fileobj, events, callback)
+
+    def modify_fd(self, fileobj, events: int, callback) -> None:
+        self._selector.modify(fileobj, events, callback)
+
+    def unregister_fd(self, fileobj) -> None:
+        try:
+            self._selector.unregister(fileobj)
+        except (KeyError, ValueError):
+            pass
+
+    # -- the loop --------------------------------------------------------
+
+    def _on_wake(self, mask: int) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _next_timeout(self) -> Optional[float]:
+        with self._pending_lock:
+            if self._pending:
+                return 0.0
+        with self._timer_lock:
+            if not self._timers:
+                return None
+            return max(0.0, self._timers[0][0] - time.monotonic())
+
+    def _run(self) -> None:
+        self.thread_ident = threading.get_ident()
+        while self._running.is_set():
+            timeout = self._next_timeout()
+            try:
+                events = self._selector.select(timeout)
+            except OSError:
+                events = []
+            for key, mask in events:
+                try:
+                    key.data(mask)
+                except Exception:
+                    pass  # one channel's fault must not kill the loop
+            self._run_due_timers()
+            self._run_pending()
+        # Drain once more so close/unregister tasks queued during stop run.
+        self._run_pending()
+        self._selector.close()
+        self._wake_recv.close()
+        self._wake_send.close()
+
+    def _run_pending(self) -> None:
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    return
+                fn = self._pending.popleft()
+            try:
+                fn()
+            except Exception:
+                pass
+
+    def _run_due_timers(self) -> None:
+        now = time.monotonic()
+        due: list[TimerHandle] = []
+        with self._timer_lock:
+            while self._timers and self._timers[0][0] <= now:
+                _, _, handle = heapq.heappop(self._timers)
+                if not handle.cancelled:
+                    due.append(handle)
+        for handle in due:
+            try:
+                handle.callback()
+            except Exception:
+                pass
+            if handle.interval is not None and not handle.cancelled:
+                self._push_timer(handle._next_delay(), handle)
+
+
+class Reactor:
+    """A fixed pool of event loops; channels and timers spread across them.
+
+    One reactor serves any number of proxies/tunnels: thread count is
+    O(loops) — not O(connections) — which is the whole point.
+    """
+
+    def __init__(self, loops: int = 1, name: str = "reactor"):
+        if loops <= 0:
+            raise ValueError(f"need at least one loop: {loops}")
+        self.name = name
+        self._loops = [_Loop(f"{name}-loop-{i}") for i in range(loops)]
+        self._rr = itertools.count()
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Reactor":
+        with self._lock:
+            if not self._started:
+                for loop in self._loops:
+                    loop.start()
+                self._started = True
+        return self
+
+    def stop(self, join: bool = True) -> None:
+        for loop in self._loops:
+            loop.stop()
+        if join:
+            for loop in self._loops:
+                loop.join(timeout=5.0)
+
+    @property
+    def loops(self) -> int:
+        return len(self._loops)
+
+    def next_loop(self) -> _Loop:
+        """Round-robin loop assignment (channels pin to one loop)."""
+        self.start()
+        return self._loops[next(self._rr) % len(self._loops)]
+
+    # -- timers ----------------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return self.next_loop().call_later(delay, fn)
+
+    def call_every(
+        self, interval: float, fn: Callable[[], None], jitter: float = 0.0
+    ) -> TimerHandle:
+        """Periodic callback every ``interval`` seconds, jittered ±10% by
+        default conventions of the callers (pass ``jitter`` explicitly)."""
+        return self.next_loop().call_every(interval, fn, jitter=jitter)
+
+    # -- channels --------------------------------------------------------
+
+    def add_channel(
+        self,
+        channel: Channel,
+        on_frame: Callable[[Frame], None],
+        on_close: Optional[Callable[[Channel, Exception], None]] = None,
+    ) -> _Registration:
+        """Drive ``channel`` from the loop: every frame → ``on_frame``.
+
+        Works for any channel implementing the reactor protocol
+        (``poll_recv``/``set_ready_callback``) — reactor TCP, in-process
+        pairs, fault-injected wrappers, and secure channels layered over
+        any of them.  ``on_close(channel, exc)`` fires once when the
+        channel dies (peer gone, framing error, record MAC failure).
+        """
+        if not channel.supports_reactor:
+            raise ValueError(
+                f"channel {channel.name!r} does not support reactor I/O"
+            )
+        # Pin layered channels to the loop that owns their underlying fd
+        # when there is one; queue-backed channels round-robin.
+        loop = getattr(channel, "reactor_loop", None) or self.next_loop()
+        registration = _Registration(channel, on_frame, on_close, loop)
+        channel.set_ready_callback(registration.ready)
+        registration.ready()  # drain anything buffered before we attached
+        return registration
+
+
+# ---------------------------------------------------------------------------
+# Reactor-native TCP transport
+# ---------------------------------------------------------------------------
+
+
+class ReactorTcpChannel(Channel):
+    """A frame channel over one non-blocking TCP socket owned by a loop.
+
+    Inbound: the loop reads, feeds a :class:`FrameDecoder`, and parks
+    decoded frames in an internal queue; blocking :meth:`recv` (used by
+    the synchronous handshake) pops that queue, and once the channel is
+    registered with :meth:`Reactor.add_channel` the loop drains it into
+    the consumer's callback.
+
+    Outbound: frames are encoded to iovec views and appended to a bounded
+    write queue (``max_write_queue`` bytes).  The loop flushes the whole
+    backlog with one vectored ``sendmsg`` (group commit, same as the
+    threaded fast path); EAGAIN arms write interest.  A full queue blocks
+    ``send`` up to ``send_timeout`` seconds, then raises
+    :class:`ChannelBusy`; on the loop thread itself ``send`` never blocks
+    — it raises immediately so a handler can't deadlock its own loop.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        reactor: Optional[Reactor] = None,
+        name: str = "rtcp",
+        max_write_queue: int = 4 * 1024 * 1024,
+        send_timeout: Optional[float] = 10.0,
+    ):
+        super().__init__(name=name)
+        reactor = reactor or get_global_reactor()
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.setblocking(False)
+        self.reactor_loop = reactor.next_loop()
+        self.max_write_queue = max_write_queue
+        self.send_timeout = send_timeout
+        # inbound
+        self._decoder = FrameDecoder()
+        self._frames: deque = deque()  # (frame, wire_size) | _EOF | FrameError
+        self._frames_cond = threading.Condition()
+        self._ready_cb: Optional[Callable[[], None]] = None
+        # outbound
+        self._wq: deque = deque()  # (views, frame_size)
+        self._wq_bytes = 0
+        self._wq_cond = threading.Condition()
+        self._flush_scheduled = False
+        self._write_armed = False
+        self._closed = threading.Event()
+        self.reactor_loop.schedule(self._register_read)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    # -- loop side: reads ------------------------------------------------
+
+    def _register_read(self) -> None:
+        if self._closed.is_set():
+            return
+        try:
+            self.reactor_loop.register_fd(
+                self._sock, selectors.EVENT_READ, self._on_io
+            )
+        except (OSError, ValueError, KeyError):
+            self._push_inbound(_EOF)
+
+    def _on_io(self, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush_on_loop()
+        if mask & selectors.EVENT_READ:
+            self._on_readable()
+
+    def _on_readable(self) -> None:
+        try:
+            chunk = self._sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            self.reactor_loop.unregister_fd(self._sock)
+            self._push_inbound(_EOF)
+            return
+        try:
+            self._decoder.feed(chunk)
+            while True:
+                frame = self._decoder.next_frame()
+                if frame is None:
+                    break
+                self._push_inbound((frame, self._decoder.last_frame_wire_size))
+        except FrameError as exc:
+            self.reactor_loop.unregister_fd(self._sock)
+            self._push_inbound(exc)
+
+    def _push_inbound(self, item) -> None:
+        with self._frames_cond:
+            self._frames.append(item)
+            self._frames_cond.notify_all()
+        cb = self._ready_cb
+        if cb is not None:
+            cb()
+
+    # -- consumer side: blocking recv + reactor protocol ------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Frame:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._frames_cond:
+            while not self._frames:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TransportTimeout(f"{self.name}: recv timed out")
+                self._frames_cond.wait(timeout=remaining)
+            item = self._frames.popleft()
+            return self._open_inbound(item)
+
+    def poll_recv(self) -> Optional[Frame]:
+        with self._frames_cond:
+            if not self._frames:
+                return None
+            item = self._frames.popleft()
+            return self._open_inbound(item)
+
+    def _open_inbound(self, item) -> Frame:
+        # Caller holds _frames_cond.
+        if item is _EOF:
+            self._frames.appendleft(_EOF)  # stays visible for later recvs
+            raise ChannelClosed(f"{self.name}: connection closed")
+        if isinstance(item, FrameError):
+            self._frames.appendleft(_EOF)
+            raise item
+        frame, wire_size = item
+        self.stats.on_receive(wire_size)
+        return frame
+
+    @property
+    def supports_reactor(self) -> bool:
+        return True
+
+    def set_ready_callback(self, callback) -> None:
+        self._ready_cb = callback
+
+    # -- writes -----------------------------------------------------------
+
+    def send(self, frame: Frame) -> None:
+        self._enqueue([encode_frame_views(frame)])
+
+    def send_many(self, frames: Iterable[Frame]) -> None:
+        batch = [encode_frame_views(frame) for frame in frames]
+        if batch:
+            self._enqueue(batch)
+
+    def _enqueue(self, frame_views: list) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed(f"{self.name}: send on closed channel")
+        sizes = [sum(map(len, views)) for views in frame_views]
+        need = sum(sizes)
+        on_loop = self.reactor_loop.on_loop_thread()
+        deadline = (
+            None if self.send_timeout is None
+            else time.monotonic() + self.send_timeout
+        )
+        with self._wq_cond:
+            while (
+                self._wq_bytes and self._wq_bytes + need > self.max_write_queue
+            ):
+                if on_loop:
+                    raise ChannelBusy(
+                        f"{self.name}: write queue full "
+                        f"({self._wq_bytes}B) on loop thread"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ChannelBusy(
+                        f"{self.name}: write queue full ({self._wq_bytes}B) "
+                        f"for {self.send_timeout}s"
+                    )
+                self._wq_cond.wait(timeout=remaining)
+                if self._closed.is_set():
+                    raise ChannelClosed(f"{self.name}: send on closed channel")
+            for views, size in zip(frame_views, sizes):
+                self._wq.append((views, size))
+                self._wq_bytes += size
+                self.stats.on_send(size)
+            schedule = not self._flush_scheduled and not self._write_armed
+            if schedule:
+                self._flush_scheduled = True
+        if schedule:
+            if on_loop:
+                self._flush_on_loop()
+            else:
+                self.reactor_loop.schedule(self._flush_on_loop)
+
+    def _flush_on_loop(self) -> None:
+        """Drain the write queue with vectored non-blocking writes."""
+        with self._wq_cond:
+            self._flush_scheduled = False
+            backlog = list(self._wq)
+        if not backlog or self._closed.is_set():
+            return
+        views = deque()
+        for frame_views, _ in backlog:
+            for view in frame_views:
+                if len(view):
+                    views.append(memoryview(view))
+        sent_total = 0
+        error: Optional[OSError] = None
+        try:
+            while views:
+                chunk = list(itertools.islice(views, 1024))
+                sent = self._sock.sendmsg(chunk)
+                sent_total += sent
+                while sent > 0:
+                    head = views[0]
+                    if sent >= len(head):
+                        sent -= len(head)
+                        views.popleft()
+                    else:
+                        views[0] = head[sent:]
+                        sent = 0
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError as exc:
+            error = exc
+        # Trim fully-written frames off the queue; re-arm for the rest.
+        with self._wq_cond:
+            remaining = sent_total
+            while self._wq and remaining >= self._wq[0][1]:
+                _, size = self._wq.popleft()
+                self._wq_bytes -= size
+                remaining -= size
+            if remaining and self._wq:
+                # Partial frame: replace head views with the unsent tail.
+                views_left, size = self._wq[0]
+                flat = deque()
+                for view in views_left:
+                    if len(view):
+                        flat.append(memoryview(view))
+                skip = remaining
+                while skip > 0 and flat:
+                    head = flat[0]
+                    if skip >= len(head):
+                        skip -= len(head)
+                        flat.popleft()
+                    else:
+                        flat[0] = head[skip:]
+                        skip = 0
+                self._wq[0] = (list(flat), size - remaining)
+            pending = bool(self._wq) and error is None
+            self._wq_cond.notify_all()
+        if error is not None:
+            self.close()
+            return
+        self._set_write_interest(pending)
+
+    def _set_write_interest(self, armed: bool) -> None:
+        if armed == self._write_armed or self._closed.is_set():
+            return
+        self._write_armed = armed
+        events = selectors.EVENT_READ | (selectors.EVENT_WRITE if armed else 0)
+        try:
+            self.reactor_loop.modify_fd(self._sock, events, self._on_io)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        with self._wq_cond:
+            self._wq.clear()
+            self._wq_bytes = 0
+            self._wq_cond.notify_all()
+        self.reactor_loop.schedule(self._close_on_loop)
+
+    def _close_on_loop(self) -> None:
+        self.reactor_loop.unregister_fd(self._sock)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._push_inbound(_EOF)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class ReactorTcpListener(TcpListener):
+    """Listening socket producing loop-owned :class:`ReactorTcpChannel`.
+
+    Accept itself stays a blocking call (the proxy keeps one accept
+    thread per listener — O(listeners), not O(connections)); only the
+    per-connection I/O moves onto the reactor.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 64,
+        reactor: Optional[Reactor] = None,
+    ):
+        super().__init__(host=host, port=port, backlog=backlog)
+        self._reactor = reactor
+
+    def _make_channel(self, conn: socket.socket, name: str) -> Channel:
+        return ReactorTcpChannel(conn, reactor=self._reactor, name=name)
+
+
+def connect_tcp_reactor(
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    reactor: Optional[Reactor] = None,
+) -> ReactorTcpChannel:
+    """Dial a listener and return a loop-owned client channel."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return ReactorTcpChannel(sock, reactor=reactor, name=f"rtcp->{host}:{port}")
+
+
+# ---------------------------------------------------------------------------
+# The process-wide shared reactor
+# ---------------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_reactor: Optional[Reactor] = None
+
+
+def get_global_reactor() -> Reactor:
+    """The shared reactor every proxy/tunnel in this process registers on.
+
+    Loop count comes from ``$REPRO_REACTOR_LOOPS`` (default 1 — with the
+    GIL, extra loops only help when I/O itself saturates one core).
+    """
+    global _global_reactor
+    with _global_lock:
+        if _global_reactor is None:
+            loops = int(os.environ.get("REPRO_REACTOR_LOOPS", "1") or 1)
+            _global_reactor = Reactor(loops=max(1, loops), name="grid-reactor")
+        return _global_reactor.start()
+
+
+def reset_global_reactor() -> None:
+    """Stop and discard the shared reactor (tests only)."""
+    global _global_reactor
+    with _global_lock:
+        reactor, _global_reactor = _global_reactor, None
+    if reactor is not None:
+        reactor.stop()

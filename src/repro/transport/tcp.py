@@ -172,7 +172,7 @@ class TcpListener(Listener):
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
-    def accept(self, timeout: Optional[float] = None) -> TcpChannel:
+    def accept(self, timeout: Optional[float] = None) -> Channel:
         if self._closed.is_set():
             raise ChannelClosed("listener is closed")
         self._sock.settimeout(timeout)
@@ -182,7 +182,12 @@ class TcpListener(Listener):
             raise TransportTimeout("accept timed out") from None
         except OSError as exc:
             raise ChannelClosed(f"listener closed ({exc})") from exc
-        return TcpChannel(conn, name=f"tcp:{peer[0]}:{peer[1]}")
+        conn.settimeout(None)
+        return self._make_channel(conn, f"tcp:{peer[0]}:{peer[1]}")
+
+    def _make_channel(self, conn: socket.socket, name: str) -> Channel:
+        """Wrap one accepted socket; the reactor listener overrides this."""
+        return TcpChannel(conn, name=name)
 
     def close(self) -> None:
         if self._closed.is_set():

@@ -12,11 +12,10 @@ import time
 import pytest
 
 from repro.core.grid import Grid
-from repro.core.protocol import ControlMessage, Op
+from repro.core.protocol import Op
 from repro.core.proxy import ProxyError
 from repro.mpi.datatypes import SUM
 from repro.transport.frames import Frame, FrameKind, encode_value
-from repro.transport.inproc import channel_pair
 
 
 @pytest.fixture()

@@ -1,0 +1,263 @@
+"""Unit tests for the control-plane dispatch pipeline."""
+
+import threading
+
+import pytest
+
+from repro.core.dispatch import DROP, DispatchPipeline
+from repro.core.protocol import ControlMessage, Op
+from repro.transport.frames import Frame, FrameKind
+
+
+@pytest.fixture
+def pipeline():
+    p = DispatchPipeline(name="test-dispatch", workers=2)
+    yield p
+    p.close()
+
+
+def _message(op=Op.PING, body=None, sender="peer") -> ControlMessage:
+    return ControlMessage(op=op, body=body or {}, sender=sender)
+
+
+class _Sink:
+    """Collects replies, with an event for cross-thread completions."""
+
+    def __init__(self):
+        self.replies = []
+        self.arrived = threading.Event()
+
+    def __call__(self, reply):
+        self.replies.append(reply)
+        self.arrived.set()
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: decode
+# ---------------------------------------------------------------------------
+
+
+class TestDecode:
+    def test_valid_frame_decodes(self, pipeline):
+        message = _message()
+        decoded = pipeline.decode(message.to_frame())
+        assert decoded is not None
+        assert decoded.op == Op.PING
+        assert decoded.message_id == message.message_id
+
+    def test_garbage_is_discarded(self, pipeline):
+        junk = Frame(kind=FrameKind.CONTROL, payload=b"\x00not-a-message")
+        assert pipeline.decode(junk) is None
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: registry lookup and execution
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_inline_handler_replies(self, pipeline):
+        pipeline.register(
+            Op.PING, lambda message, peer: message.reply(Op.PONG, {"peer": peer})
+        )
+        sink = _Sink()
+        pipeline.dispatch(_message(), "proxy.A", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.PONG
+        assert sink.replies[0].body["peer"] == "proxy.A"
+
+    def test_inline_handler_runs_on_callers_thread(self, pipeline):
+        threads = []
+        pipeline.register(
+            Op.PING,
+            lambda message, peer: threads.append(threading.current_thread()) or None,
+        )
+        pipeline.dispatch(_message(), "p", lambda r: None)
+        assert threads == [threading.current_thread()]
+
+    def test_blocking_handler_runs_on_pool(self, pipeline):
+        names = []
+        sink = _Sink()
+        pipeline.register(
+            Op.JOB_SUBMIT,
+            lambda message, peer: (
+                names.append(threading.current_thread().name),
+                message.reply(Op.JOB_RESULT, {}),
+            )[1],
+            blocking=True,
+        )
+        pipeline.dispatch(_message(op=Op.JOB_SUBMIT), "p", sink)
+        assert sink.arrived.wait(timeout=5.0)
+        assert names and names[0].startswith("test-dispatch-worker")
+
+    def test_pool_is_lazy(self, pipeline):
+        pipeline.register(Op.PING, lambda message, peer: None)
+        pipeline.dispatch(_message(), "p", lambda r: None)
+        assert not pipeline.pool_started()
+        pipeline.register(Op.JOB_SUBMIT, lambda m, p: None, blocking=True)
+        sink = _Sink()
+        pipeline.register(
+            Op.STATUS_QUERY,
+            lambda m, p: m.reply(Op.STATUS_REPORT, {}),
+            blocking=True,
+        )
+        pipeline.dispatch(_message(op=Op.STATUS_QUERY), "p", sink)
+        assert sink.arrived.wait(timeout=5.0)
+        assert pipeline.pool_started()
+
+    def test_handler_fault_becomes_error_reply(self, pipeline):
+        def explode(message, peer):
+            raise RuntimeError("handler blew up")
+
+        pipeline.register(Op.PING, explode)
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.ERROR
+        assert "handler blew up" in sink.replies[0].body["error"]
+
+    def test_none_reply_answers_nothing(self, pipeline):
+        pipeline.register(Op.HELLO, lambda message, peer: None)
+        sink = _Sink()
+        pipeline.dispatch(_message(op=Op.HELLO), "p", sink)
+        assert not sink.arrived.wait(timeout=0.1)
+
+    def test_default_handler_catches_unknown_ops(self, pipeline):
+        pipeline.set_default(
+            lambda message, peer: message.reply(Op.ERROR, {"error": "unhandled"})
+        )
+        sink = _Sink()
+        pipeline.dispatch(_message(op=Op.STATUS_QUERY), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.ERROR
+
+    def test_unregister_falls_back_to_default(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        pipeline.set_default(lambda m, p: m.reply(Op.ERROR, {"error": "gone"}))
+        pipeline.unregister(Op.PING)
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.ERROR
+
+    def test_respond_failure_is_swallowed(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+
+        def broken_sink(reply):
+            raise OSError("peer vanished")
+
+        pipeline.dispatch(_message(), "p", broken_sink)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: guards (the authorize stage)
+# ---------------------------------------------------------------------------
+
+
+class TestGuards:
+    def test_guard_pass_through(self, pipeline):
+        pipeline.add_guard(lambda message, peer: None)
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.PONG
+
+    def test_guard_veto_with_reply(self, pipeline):
+        pipeline.add_guard(
+            lambda message, peer: message.reply(Op.AUTH_DENIED, {"reason": "no"})
+        )
+        ran = []
+        pipeline.register(Op.PING, lambda m, p: ran.append(1))
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.AUTH_DENIED
+        assert not ran
+
+    def test_guard_drop_is_silent(self, pipeline):
+        pipeline.add_guard(lambda message, peer: DROP)
+        ran = []
+        pipeline.register(Op.PING, lambda m, p: ran.append(1))
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert not sink.arrived.wait(timeout=0.1)
+        assert not ran
+
+    def test_guard_exception_becomes_error_reply(self, pipeline):
+        def angry(message, peer):
+            raise PermissionError("forbidden")
+
+        pipeline.add_guard(angry)
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].op == Op.ERROR
+        assert "forbidden" in sink.replies[0].body["error"]
+
+
+# ---------------------------------------------------------------------------
+# Extension overrides
+# ---------------------------------------------------------------------------
+
+
+class TestOverrides:
+    def test_override_beats_builtin_and_runs_on_pool(self, pipeline):
+        pipeline.register(Op.STATUS_QUERY, lambda m, p: m.reply(Op.STATUS_REPORT, {}))
+        names = []
+        sink = _Sink()
+        pipeline.overrides[Op.STATUS_QUERY] = lambda message, peer: (
+            names.append(threading.current_thread().name),
+            message.reply(Op.STATUS_REPORT, {"status": "overridden"}),
+        )[1]
+        pipeline.dispatch(_message(op=Op.STATUS_QUERY), "p", sink)
+        assert sink.arrived.wait(timeout=5.0)
+        assert sink.replies[0].body == {"status": "overridden"}
+        assert names[0].startswith("test-dispatch-worker")
+
+    def test_removed_override_restores_builtin(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {"builtin": True}))
+        pipeline.overrides[Op.PING] = lambda m, p: m.reply(Op.PONG, {"builtin": False})
+        del pipeline.overrides[Op.PING]
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert sink.arrived.wait(timeout=2.0)
+        assert sink.replies[0].body == {"builtin": True}
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestClose:
+    def test_closed_pipeline_drops_dispatch(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        pipeline.close()
+        sink = _Sink()
+        pipeline.dispatch(_message(), "p", sink)
+        assert not sink.arrived.wait(timeout=0.1)
+
+    def test_close_is_idempotent(self, pipeline):
+        pipeline.close()
+        pipeline.close()
+
+    def test_close_joins_pool(self, pipeline):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow(message, peer):
+            started.set()
+            release.wait(timeout=5.0)
+            return None
+
+        pipeline.register(Op.PING, slow, blocking=True)
+        pipeline.dispatch(_message(), "p", lambda r: None)
+        assert started.wait(timeout=5.0)
+        release.set()
+        pipeline.close()
+        assert not pipeline.pool_started()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DispatchPipeline(workers=0)

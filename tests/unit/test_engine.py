@@ -4,7 +4,6 @@ import pytest
 
 from repro.simulation.engine import (
     Interrupt,
-    Queue,
     SimulationError,
     Simulator,
 )

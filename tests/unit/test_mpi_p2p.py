@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, MpiError
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, MpiError
 from repro.mpi.launcher import mpirun, round_robin_placement
 from repro.mpi.router import Endpoint, LocalRouter, RouterError
 from repro.mpi.datatypes import Envelope

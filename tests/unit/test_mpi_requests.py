@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, Request
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Request
 from repro.mpi.launcher import mpirun
 
 

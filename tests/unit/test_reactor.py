@@ -1,0 +1,385 @@
+"""Unit tests for the shared reactor: loops, timers, channels, backpressure."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.transport.errors import ChannelBusy, ChannelClosed
+from repro.transport.faulty import FaultInjector, FaultPlan, FaultyChannel
+from repro.transport.frames import Frame, FrameKind
+from repro.transport.inproc import channel_pair
+from repro.transport.reactor import (
+    Reactor,
+    ReactorTcpChannel,
+    ReactorTcpListener,
+    connect_tcp_reactor,
+    io_mode,
+)
+
+
+@pytest.fixture
+def reactor():
+    r = Reactor(loops=1, name="test-reactor").start()
+    yield r
+    r.stop()
+
+
+def _frame(payload: bytes = b"x", kind=FrameKind.CONTROL) -> Frame:
+    return Frame(kind=kind, payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# Mode selection
+# ---------------------------------------------------------------------------
+
+
+class TestIoMode:
+    def test_default_is_reactor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IO", raising=False)
+        assert io_mode() == "reactor"
+
+    def test_env_selects_threaded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IO", "threaded")
+        assert io_mode() == "threaded"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IO", "threaded")
+        assert io_mode("reactor") == "reactor"
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IO", "fibers")
+        with pytest.raises(ValueError, match="fibers"):
+            io_mode()
+
+
+# ---------------------------------------------------------------------------
+# Timers
+# ---------------------------------------------------------------------------
+
+
+class TestTimers:
+    def test_call_later_fires_once(self, reactor):
+        fired = threading.Event()
+        reactor.call_later(0.01, fired.set)
+        assert fired.wait(timeout=2.0)
+
+    def test_call_later_cancel(self, reactor):
+        fired = threading.Event()
+        handle = reactor.call_later(0.05, fired.set)
+        handle.cancel()
+        assert not fired.wait(timeout=0.2)
+
+    def test_call_every_is_periodic(self, reactor):
+        ticks = []
+        done = threading.Event()
+
+        def tick():
+            ticks.append(time.monotonic())
+            if len(ticks) >= 5:
+                done.set()
+
+        handle = reactor.call_every(0.02, tick)
+        assert done.wait(timeout=5.0)
+        handle.cancel()
+
+    def test_call_every_cancel_stops_firing(self, reactor):
+        count = [0]
+        handle = reactor.call_every(0.01, lambda: count.__setitem__(0, count[0] + 1))
+        deadline = time.monotonic() + 2.0
+        while count[0] < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert count[0] >= 2
+        handle.cancel()
+        settled = count[0]
+        time.sleep(0.08)
+        # at most one in-flight firing after cancel
+        assert count[0] <= settled + 1
+
+    def test_jitter_stays_within_bounds(self, reactor):
+        handle = reactor.call_every(1.0, lambda: None, jitter=0.1)
+        delays = {handle._next_delay() for _ in range(50)}
+        assert all(0.9 <= d <= 1.1 for d in delays)
+        assert len(delays) > 1  # actually jittered, not constant
+
+    def test_timer_exception_does_not_kill_loop(self, reactor):
+        fired = threading.Event()
+
+        def bad():
+            raise RuntimeError("boom")
+
+        reactor.call_later(0.0, bad)
+        reactor.call_later(0.02, fired.set)
+        assert fired.wait(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Channel adapters on the loop
+# ---------------------------------------------------------------------------
+
+
+class TestAddChannel:
+    def test_inproc_frames_arrive_via_callback(self, reactor):
+        a, b = channel_pair("t")
+        got = []
+        done = threading.Event()
+
+        def on_frame(frame):
+            got.append(frame.payload)
+            if len(got) == 5:
+                done.set()
+
+        reactor.add_channel(b, on_frame)
+        for i in range(5):
+            a.send(_frame(b"m%d" % i))
+        assert done.wait(timeout=2.0)
+        assert got == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+    def test_frames_buffered_before_registration_are_drained(self, reactor):
+        a, b = channel_pair("t")
+        for i in range(3):
+            a.send(_frame(b"%d" % i))
+        got = []
+        done = threading.Event()
+        reactor.add_channel(
+            b, lambda f: (got.append(f.payload), len(got) == 3 and done.set())
+        )
+        assert done.wait(timeout=2.0)
+        assert got == [b"0", b"1", b"2"]
+
+    def test_on_close_fires_once_when_peer_closes(self, reactor):
+        a, b = channel_pair("t")
+        closes = []
+        closed = threading.Event()
+        reactor.add_channel(
+            b, lambda f: None, on_close=lambda ch, exc: (closes.append(exc), closed.set())
+        )
+        a.close()
+        assert closed.wait(timeout=2.0)
+        time.sleep(0.05)
+        assert len(closes) == 1
+        assert isinstance(closes[0], ChannelClosed)
+
+    def test_non_reactor_channel_rejected(self, reactor):
+        from repro.transport.channel import Channel
+
+        class Legacy(Channel):
+            def send(self, frame):
+                pass
+
+            def recv(self, timeout=None):
+                raise NotImplementedError
+
+            def close(self):
+                pass
+
+            @property
+            def closed(self):
+                return False
+
+        with pytest.raises(ValueError, match="does not support reactor"):
+            reactor.add_channel(Legacy(name="legacy"), lambda f: None)
+
+    def test_faulty_channel_drops_on_the_loop(self, reactor):
+        """A fault-injected wrapper runs on the loop; dropped frames never
+        surface and the rest keep their order."""
+        a, b = channel_pair("chaos")
+        plan = FaultPlan(drop=0.5, max_faults=None)
+        faulty = FaultyChannel(b, FaultInjector(seed=42, plan=plan), on_recv=True)
+        # Replay the schedule to know exactly which of the 20 survive.
+        oracle = FaultInjector(seed=42, plan=plan)
+        expected = [
+            b"m%d" % i
+            for i in range(20)
+            if oracle.decide("recv", i)[0] != "drop"
+        ]
+        got = []
+        done = threading.Event()
+
+        def on_frame(frame):
+            got.append(frame.payload)
+            if len(got) == len(expected):
+                done.set()
+
+        reactor.add_channel(faulty, on_frame)
+        for i in range(20):
+            a.send(_frame(b"m%d" % i))
+        assert done.wait(timeout=5.0)
+        assert got == expected
+
+    def test_handler_exception_does_not_stop_delivery(self, reactor):
+        a, b = channel_pair("t")
+        got = []
+        done = threading.Event()
+
+        def on_frame(frame):
+            got.append(frame.payload)
+            if frame.payload == b"bad":
+                raise RuntimeError("handler fault")
+            if frame.payload == b"last":
+                done.set()
+
+        reactor.add_channel(b, on_frame)
+        a.send(_frame(b"bad"))
+        a.send(_frame(b"last"))
+        assert done.wait(timeout=2.0)
+        assert got == [b"bad", b"last"]
+
+
+# ---------------------------------------------------------------------------
+# Reactor TCP transport
+# ---------------------------------------------------------------------------
+
+
+class TestReactorTcp:
+    def test_round_trip_via_callbacks(self, reactor):
+        listener = ReactorTcpListener(reactor=reactor)
+        client = connect_tcp_reactor(listener.host, listener.port, reactor=reactor)
+        server = listener.accept(timeout=5.0)
+        try:
+            got = []
+            done = threading.Event()
+            reactor.add_channel(
+                server,
+                lambda f: (got.append(f.payload), len(got) == 10 and done.set()),
+            )
+            client.send_many(_frame(b"n%d" % i) for i in range(10))
+            assert done.wait(timeout=5.0)
+            assert got == [b"n%d" % i for i in range(10)]
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_blocking_recv_works_before_registration(self, reactor):
+        """The synchronous handshake path: recv blocks without a callback."""
+        listener = ReactorTcpListener(reactor=reactor)
+        client = connect_tcp_reactor(listener.host, listener.port, reactor=reactor)
+        server = listener.accept(timeout=5.0)
+        try:
+            client.send(_frame(b"hello", kind=FrameKind.HANDSHAKE))
+            frame = server.recv(timeout=5.0)
+            assert frame.payload == b"hello"
+            server.send(_frame(b"olleh", kind=FrameKind.HANDSHAKE))
+            assert client.recv(timeout=5.0).payload == b"olleh"
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_close_propagates_to_peer(self, reactor):
+        listener = ReactorTcpListener(reactor=reactor)
+        client = connect_tcp_reactor(listener.host, listener.port, reactor=reactor)
+        server = listener.accept(timeout=5.0)
+        listener.close()
+        client.close()
+        with pytest.raises(ChannelClosed):
+            for _ in range(100):
+                server.recv(timeout=1.0)
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: bounded write queues made deterministic
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_slow_tcp_peer_raises_channel_busy(self, reactor):
+        """A peer that never reads fills the socket buffer, then the
+        bounded write queue, then ``send`` fails fast with ChannelBusy."""
+        listener = ReactorTcpListener(reactor=reactor)
+        raw = socket.create_connection((listener.host, listener.port))
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        server = listener.accept(timeout=5.0)
+        assert isinstance(server, ReactorTcpChannel)
+        server.max_write_queue = 64 * 1024
+        server.send_timeout = 0.2
+        payload = b"\x5a" * 4096
+        try:
+            with pytest.raises(ChannelBusy):
+                for _ in range(1000):
+                    server.send(_frame(payload))
+            # Bounded: the queue never exceeded its cap plus one frame.
+            assert server._wq_bytes <= server.max_write_queue + 5000
+            assert not server.closed  # backpressure is not failure
+        finally:
+            server.close()
+            raw.close()
+            listener.close()
+
+    def test_send_unblocks_when_peer_drains(self, reactor):
+        listener = ReactorTcpListener(reactor=reactor)
+        raw = socket.create_connection((listener.host, listener.port))
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        server = listener.accept(timeout=5.0)
+        server.max_write_queue = 32 * 1024
+        server.send_timeout = 10.0
+        payload = b"\x5a" * 4096
+        try:
+            # Fill until a send would have to wait.
+            while server._wq_bytes + 5000 <= server.max_write_queue:
+                server.send(_frame(payload))
+
+            def drain():
+                time.sleep(0.1)
+                while True:
+                    try:
+                        if not raw.recv(65536):
+                            return
+                    except OSError:
+                        return
+
+            drainer = threading.Thread(target=drain, daemon=True)
+            drainer.start()
+            start = time.monotonic()
+            for _ in range(30):
+                server.send(_frame(payload))  # blocks, then proceeds
+            assert time.monotonic() - start < 8.0
+        finally:
+            server.close()
+            raw.close()
+            listener.close()
+
+    def test_bounded_inproc_buffer_raises_channel_busy(self):
+        a, b = channel_pair("bounded", maxsize=4, send_timeout=0.05)
+        for _ in range(4):
+            a.send(_frame(b"x"))
+        with pytest.raises(ChannelBusy):
+            a.send(_frame(b"overflow"))
+        # Draining one slot lets the next send through.
+        b.recv(timeout=1.0)
+        a.send(_frame(b"fits-now"))
+        assert b.pending_frames() == 4
+
+
+# ---------------------------------------------------------------------------
+# Thread budget
+# ---------------------------------------------------------------------------
+
+
+class TestThreadBudget:
+    def test_many_channels_one_loop_thread(self, reactor):
+        """50 registered channels must not add 50 threads: that is the
+        whole point of the migration."""
+        before = threading.active_count()
+        pairs = [channel_pair(f"p{i}") for i in range(50)]
+        seen = [0]
+        done = threading.Event()
+        lock = threading.Lock()
+
+        def on_frame(frame):
+            with lock:
+                seen[0] += 1
+                if seen[0] == 50:
+                    done.set()
+
+        for a, b in pairs:
+            reactor.add_channel(b, on_frame)
+        assert threading.active_count() <= before + 1
+        for a, _ in pairs:
+            a.send(_frame(b"ping"))
+        assert done.wait(timeout=5.0)
+        for a, b in pairs:
+            a.close()

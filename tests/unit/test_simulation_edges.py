@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simulation.engine import SimulationError, Simulator
-from repro.simulation.network import Network, Packet
+from repro.simulation.network import Network
 from repro.simulation.randomness import RandomStream
 from repro.simulation.resources import NodeResources
 

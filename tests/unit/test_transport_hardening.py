@@ -28,7 +28,6 @@ from repro.transport.frames import (
     FrameDecoder,
     FrameKind,
     encode_frame,
-    encode_frame_views,
 )
 from repro.transport.tcp import TcpChannel, TcpListener, _IOV_MAX, _sendall_views
 
