@@ -36,7 +36,7 @@ from repro.security.rsa import RsaKeyPair, RsaPublicKey
 from repro.transport.channel import Channel
 from repro.transport.errors import ChannelBusy, TransportError, TransportTimeout
 from repro.transport.frames import Frame, FrameKind
-from repro.transport.reactor import get_global_reactor, io_mode
+from repro.transport.reactor import get_global_reactor, io_mode, on_reactor_thread
 
 __all__ = ["Tunnel", "TunnelBusy", "TunnelError"]
 
@@ -276,20 +276,41 @@ class Tunnel:
 
     # -- traffic -------------------------------------------------------------------
 
+    def _acquire_send_lock(self) -> None:
+        """Take the send lock, but never by blocking an event-loop thread.
+
+        A worker blocked in backpressure holds the lock for up to the
+        channel's send timeout; if a loop thread (heartbeat timer, inline
+        handler reply) then waited here, the only flusher would stall and
+        every channel on that loop would freeze until the waiter timed
+        out.  On loop threads contention is therefore congestion: fail
+        fast with :class:`TunnelBusy` and let the caller retry.
+        """
+        if on_reactor_thread():
+            if not self._send_lock.acquire(blocking=False):
+                raise TunnelBusy(
+                    f"tunnel {self.local_name}->{self.peer_name} send "
+                    f"refused: channel busy on event-loop thread"
+                )
+            return
+        self._send_lock.acquire()
+
     def send(self, frame: Frame) -> None:
         if not self.alive:
             raise TunnelError(
                 f"tunnel {self.local_name}->{self.peer_name} is down"
             )
+        self._acquire_send_lock()
         try:
-            with self._send_lock:
-                self._secure.send(frame)
+            self._secure.send(frame)
         except ChannelBusy as exc:
             # Backpressure: the tunnel is congested, not broken.
             raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
+        finally:
+            self._send_lock.release()
 
     def send_many(self, frames) -> None:
         """Send a burst of frames, coalescing records into one socket write.
@@ -305,14 +326,16 @@ class Tunnel:
             raise TunnelError(
                 f"tunnel {self.local_name}->{self.peer_name} is down"
             )
+        self._acquire_send_lock()
         try:
-            with self._send_lock:
-                self._secure.send_many(frames)
+            self._secure.send_many(frames)
         except ChannelBusy as exc:
             raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
+        finally:
+            self._send_lock.release()
 
     @property
     def alive(self) -> bool:

@@ -134,13 +134,19 @@ class Communicator:
 
         No helper thread: the request is parked on the endpoint and the
         delivering thread (a local sender or the reactor loop carrying
-        tunnel traffic) completes it.  ``wait`` blocks as before.
+        tunnel traffic) completes it.  ``wait`` blocks as before, and —
+        matching the original thread-based contract — an invalid source
+        or tag surfaces from ``wait``, never from ``irecv`` itself.
         """
-        if source != ANY_SOURCE:
-            self._check_peer(source)
-        if tag != ANY_TAG:
-            self._check_tag(tag)
         request = Request()
+        try:
+            if source != ANY_SOURCE:
+                self._check_peer(source)
+            if tag != ANY_TAG:
+                self._check_tag(tag)
+        except MpiError as exc:
+            request._complete(error=exc)
+            return request
 
         def on_match(envelope, error) -> None:
             if error is not None:

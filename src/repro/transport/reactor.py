@@ -62,6 +62,7 @@ __all__ = [
     "connect_tcp_reactor",
     "get_global_reactor",
     "io_mode",
+    "on_reactor_thread",
     "reset_global_reactor",
 ]
 
@@ -70,6 +71,18 @@ _EOF = object()
 #: frames delivered per drain pass before yielding to other channels
 _DRAIN_BATCH = 128
 _timer_seq = itertools.count()
+#: idents of every live event-loop thread, across all reactors
+_loop_thread_idents: set = set()
+
+
+def on_reactor_thread() -> bool:
+    """True when the calling thread is any reactor event-loop thread.
+
+    Senders must never *block* on a loop thread — a blocked loop cannot
+    flush the very queue the sender is waiting on (nor any other channel
+    it owns).  Backpressure paths use this to fail fast instead.
+    """
+    return threading.get_ident() in _loop_thread_idents
 
 
 def io_mode(override: Optional[str] = None) -> str:
@@ -227,6 +240,11 @@ class _Loop:
     def on_loop_thread(self) -> bool:
         return threading.get_ident() == self.thread_ident
 
+    @property
+    def defunct(self) -> bool:
+        """True once the loop has been told to stop: it drops new work."""
+        return self._thread is not None and not self._running.is_set()
+
     # -- cross-thread entry points --------------------------------------
 
     def wake(self) -> None:
@@ -295,24 +313,28 @@ class _Loop:
 
     def _run(self) -> None:
         self.thread_ident = threading.get_ident()
-        while self._running.is_set():
-            timeout = self._next_timeout()
-            try:
-                events = self._selector.select(timeout)
-            except OSError:
-                events = []
-            for key, mask in events:
+        _loop_thread_idents.add(self.thread_ident)
+        try:
+            while self._running.is_set():
+                timeout = self._next_timeout()
                 try:
-                    key.data(mask)
-                except Exception:
-                    pass  # one channel's fault must not kill the loop
-            self._run_due_timers()
+                    events = self._selector.select(timeout)
+                except OSError:
+                    events = []
+                for key, mask in events:
+                    try:
+                        key.data(mask)
+                    except Exception:
+                        pass  # one channel's fault must not kill the loop
+                self._run_due_timers()
+                self._run_pending()
+            # Drain once more so close/unregister tasks queued during stop run.
             self._run_pending()
-        # Drain once more so close/unregister tasks queued during stop run.
-        self._run_pending()
-        self._selector.close()
-        self._wake_recv.close()
-        self._wake_send.close()
+        finally:
+            _loop_thread_idents.discard(self.thread_ident)
+            self._selector.close()
+            self._wake_recv.close()
+            self._wake_send.close()
 
     def _run_pending(self) -> None:
         while True:
@@ -363,16 +385,26 @@ class Reactor:
     def start(self) -> "Reactor":
         with self._lock:
             if not self._started:
+                # A stopped loop's thread is gone and its selector closed;
+                # restarting the reactor must hand out live loops, not
+                # silently drop work on dead ones.
+                self._loops = [
+                    _Loop(loop.name) if loop.defunct else loop
+                    for loop in self._loops
+                ]
                 for loop in self._loops:
                     loop.start()
                 self._started = True
         return self
 
     def stop(self, join: bool = True) -> None:
-        for loop in self._loops:
+        with self._lock:
+            self._started = False
+            loops = list(self._loops)
+        for loop in loops:
             loop.stop()
         if join:
-            for loop in self._loops:
+            for loop in loops:
                 loop.join(timeout=5.0)
 
     @property
@@ -585,7 +617,9 @@ class ReactorTcpChannel(Channel):
             raise ChannelClosed(f"{self.name}: send on closed channel")
         sizes = [sum(map(len, views)) for views in frame_views]
         need = sum(sizes)
-        on_loop = self.reactor_loop.on_loop_thread()
+        # Any loop thread — not just our own — must fail fast rather than
+        # wait: blocking loop A on loop B's queue stalls all of A's channels.
+        on_loop = on_reactor_thread()
         deadline = (
             None if self.send_timeout is None
             else time.monotonic() + self.send_timeout
@@ -618,7 +652,9 @@ class ReactorTcpChannel(Channel):
             if schedule:
                 self._flush_scheduled = True
         if schedule:
-            if on_loop:
+            # Inline flush only on the loop that owns this fd — selector
+            # mutation (write-interest arming) is loop-affine.
+            if self.reactor_loop.on_loop_thread():
                 self._flush_on_loop()
             else:
                 self.reactor_loop.schedule(self._flush_on_loop)
@@ -678,6 +714,7 @@ class ReactorTcpChannel(Channel):
                         flat[0] = head[skip:]
                         skip = 0
                 self._wq[0] = (list(flat), size - remaining)
+                self._wq_bytes -= remaining
             pending = bool(self._wq) and error is None
             self._wq_cond.notify_all()
         if error is not None:
@@ -688,12 +725,17 @@ class ReactorTcpChannel(Channel):
     def _set_write_interest(self, armed: bool) -> None:
         if armed == self._write_armed or self._closed.is_set():
             return
-        self._write_armed = armed
         events = selectors.EVENT_READ | (selectors.EVENT_WRITE if armed else 0)
         try:
             self.reactor_loop.modify_fd(self._sock, events, self._on_io)
         except (KeyError, ValueError, OSError):
-            pass
+            if armed:
+                # The fd is no longer registered (read side hit EOF and
+                # unregistered it), so the queue can never drain — fail
+                # pending senders now instead of letting them time out.
+                self.close()
+            return
+        self._write_armed = armed
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -208,6 +208,40 @@ class TestTunnel:
                 time.sleep(0.01)
         a.close()
 
+    def test_loop_thread_send_fails_fast_on_lock_contention(self, pki):
+        """A reactor loop thread must never block on a tunnel's send lock
+        (a worker holding it under backpressure would stall the only
+        flusher for every channel on that loop): it gets TunnelBusy."""
+        from repro.core.tunnel import TunnelBusy
+        from repro.transport.reactor import Reactor
+
+        a, b = make_tunnel_pair(pki)
+        reactor = Reactor(loops=1, name="lock-test").start()
+        outcome = {}
+        done = threading.Event()
+
+        def loop_send():
+            try:
+                a.send(Frame(kind=FrameKind.HEARTBEAT))
+                outcome["result"] = "sent"
+            except TunnelBusy:
+                outcome["result"] = "busy"
+            except Exception as exc:  # pragma: no cover - diagnostic
+                outcome["result"] = repr(exc)
+            done.set()
+
+        try:
+            with a._send_lock:  # a worker mid-send under backpressure
+                reactor.call_later(0.0, loop_send)
+                assert done.wait(timeout=5.0)
+            assert outcome["result"] == "busy"
+            assert a.alive  # congestion, not failure
+            a.send(Frame(kind=FrameKind.CONTROL))  # uncontended: fine
+        finally:
+            a.close()
+            b.close()
+            reactor.stop()
+
 
 class TestVirtualSlaves:
     def make_space(self):

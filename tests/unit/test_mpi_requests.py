@@ -85,6 +85,20 @@ class TestNonBlockingOverlap:
         result = mpirun(app, 1, timeout=30.0)
         assert result.returns[0] == "MpiError"
 
+    def test_irecv_invalid_source_reports_via_request(self):
+        # Matching isend: validation errors complete the Request rather
+        # than raising from the irecv call itself.
+        def app(comm):
+            request = comm.irecv(source=99)
+            try:
+                request.wait(timeout=5.0)
+            except Exception as exc:
+                return type(exc).__name__
+            return "no error"
+
+        result = mpirun(app, 1, timeout=30.0)
+        assert result.returns[0] == "MpiError"
+
 
 class TestProbeSemantics:
     def test_probe_wildcards(self):

@@ -16,6 +16,7 @@ from repro.transport.reactor import (
     ReactorTcpListener,
     connect_tcp_reactor,
     io_mode,
+    on_reactor_thread,
 )
 
 
@@ -342,6 +343,49 @@ class TestBackpressure:
             raw.close()
             listener.close()
 
+    def test_partial_write_accounting_returns_to_zero(self, reactor):
+        """Partial writes must not leak queued-byte accounting: once the
+        peer drains everything, ``_wq_bytes`` returns to exactly zero and
+        later sends see no phantom backpressure."""
+        listener = ReactorTcpListener(reactor=reactor)
+        raw = socket.create_connection((listener.host, listener.port))
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        server = listener.accept(timeout=5.0)
+        # Tiny send buffer + large frames force partial sendmsg writes.
+        server._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        server.max_write_queue = 1024 * 1024
+        server.send_timeout = 5.0
+        payload = b"\x5a" * 32768
+        stop = threading.Event()
+
+        def drain():
+            raw.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    if not raw.recv(65536):
+                        return
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        try:
+            for _ in range(8):
+                server.send(_frame(payload))
+            drainer.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and server._wq:
+                time.sleep(0.01)
+            assert not server._wq
+            assert server._wq_bytes == 0
+            server.send(_frame(b"still healthy"))  # no phantom ChannelBusy
+        finally:
+            stop.set()
+            server.close()
+            raw.close()
+            listener.close()
+
     def test_bounded_inproc_buffer_raises_channel_busy(self):
         a, b = channel_pair("bounded", maxsize=4, send_timeout=0.05)
         for _ in range(4):
@@ -352,6 +396,36 @@ class TestBackpressure:
         b.recv(timeout=1.0)
         a.send(_frame(b"fits-now"))
         assert b.pending_frames() == 4
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle and loop-thread detection
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_restart_after_stop_runs_timers(self):
+        """A stopped reactor must not silently drop work handed to dead
+        loops: the next use restarts with fresh loops."""
+        r = Reactor(loops=1, name="restart-test").start()
+        r.stop()
+        fired = threading.Event()
+        r.call_later(0.0, fired.set)  # next_loop() restarts transparently
+        assert fired.wait(timeout=5.0)
+        r.stop()
+
+    def test_on_reactor_thread_detection(self, reactor):
+        assert on_reactor_thread() is False  # the test runner's thread
+        result = {}
+        done = threading.Event()
+
+        def probe():
+            result["on_loop"] = on_reactor_thread()
+            done.set()
+
+        reactor.next_loop().schedule(probe)
+        assert done.wait(timeout=5.0)
+        assert result["on_loop"] is True
 
 
 # ---------------------------------------------------------------------------
