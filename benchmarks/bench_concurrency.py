@@ -174,6 +174,7 @@ def check_shape(report: dict) -> None:
 
 
 @pytest.mark.concurrency
+@pytest.mark.slow
 @pytest.mark.benchmark(group="concurrency")
 def test_concurrency_quick(benchmark):
     report = benchmark.pedantic(lambda: run_experiment(quick=True), rounds=1, iterations=1)

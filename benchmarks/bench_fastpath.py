@@ -363,6 +363,7 @@ def check_shape(report: dict) -> None:
 
 
 @pytest.mark.fastpath
+@pytest.mark.slow
 @pytest.mark.benchmark(group="fastpath")
 def test_fastpath_quick(benchmark):
     report = benchmark.pedantic(lambda: run_experiment(quick=True), rounds=1, iterations=1)

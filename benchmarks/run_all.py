@@ -94,6 +94,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_e12_owner_priority as e12
     import benchmarks.bench_concurrency as concurrency
     import benchmarks.bench_fastpath as fastpath
+    import benchmarks.bench_obs as obs
 
     quick = "--quick" in argv
     selected = [a for a in argv if a != "--quick"]
@@ -132,6 +133,10 @@ def main(argv: list[str]) -> int:
         "concurrency": lambda: [
             ("Concurrency: reactor vs thread-per-connection",
              concurrency.run_tables(quick=quick)),
+        ],
+        "obs": lambda: [
+            ("Obs: instrumentation overhead (gate <5% on tunnel_echo)",
+             obs.run_tables(quick=quick)),
         ],
         "tests": lambda: [
             ("Test profile " + ("(quick)" if quick else "(full)"),

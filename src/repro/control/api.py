@@ -54,6 +54,23 @@ class GridApi:
         """The compiled global status."""
         return self.grid.global_status(via_site=via_site)
 
+    # -- observability -----------------------------------------------------
+
+    def observability(
+        self,
+        via_site: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        max_spans: Optional[int] = None,
+    ) -> dict[str, Optional[dict]]:
+        """The compiled grid-wide telemetry view (``OBS_DUMP`` per site).
+
+        Pass ``trace_id`` to narrow every site's spans to one trace and
+        read a single request's per-hop story across the grid.
+        """
+        return self.grid.global_observability(
+            via_site=via_site, trace_id=trace_id, max_spans=max_spans
+        )
+
     # -- summaries ---------------------------------------------------------------
 
     def summary(self) -> dict[str, Any]:

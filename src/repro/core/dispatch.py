@@ -34,11 +34,17 @@ The proxy wires ``respond`` to the tunnel the request arrived on.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.protocol import ControlMessage, Op, ProtocolError
+from repro.obs.metrics import enabled as obs_enabled
+from repro.obs.trace import TraceContext, swap_trace
 from repro.transport.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import ObsHub
 
 __all__ = ["DROP", "DispatchPipeline", "Handler"]
 
@@ -74,11 +80,26 @@ class DispatchPipeline:
     it) and joined by :meth:`close`.
     """
 
-    def __init__(self, name: str = "dispatch", workers: int = 4):
+    def __init__(
+        self,
+        name: str = "dispatch",
+        workers: int = 4,
+        obs: Optional["ObsHub"] = None,
+    ):
         if workers <= 0:
             raise ValueError(f"worker pool needs at least one thread: {workers}")
         self.name = name
         self.workers = workers
+        #: owner's observability hub; None runs the pipeline dark (zero
+        #: instrument cost, used by benchmarks as the baseline)
+        self.obs = obs
+        # Hot-path instruments are resolved once, not per message.
+        self._m_messages = obs.metrics.counter("dispatch.messages") if obs else None
+        self._m_vetoed = obs.metrics.counter("dispatch.vetoed") if obs else None
+        # op → (span name, latency histogram): the per-message f-string
+        # and registry lookup are paid once per op, not per message.
+        # Benignly racy: losers re-derive the same pair.
+        self._op_instruments: dict[int, tuple[str, Any]] = {}
         self._handlers: dict[int, Handler] = {}
         #: live extension registry, consulted *before* the built-in
         #: handlers so deployments can override any op ("the codes used
@@ -147,14 +168,20 @@ class DispatchPipeline:
         """
         if self._closed.is_set():
             return
+        if self._m_messages is not None:
+            self._m_messages.inc()
         for guard in self._guards:
             try:
                 veto = guard(message, peer)
             except Exception as exc:
                 veto = message.reply(Op.ERROR, {"error": str(exc)})
             if veto is DROP:
+                if self._m_vetoed is not None:
+                    self._m_vetoed.inc()
                 return
             if veto is not None:
+                if self._m_vetoed is not None:
+                    self._m_vetoed.inc()
                 self._respond(veto, respond)
                 return
         override = self.overrides.get(message.op)
@@ -177,10 +204,41 @@ class DispatchPipeline:
     def _run_handler(
         self, handler: Handler, message: ControlMessage, peer: str, respond: Respond
     ) -> None:
+        obs = self.obs
+        if obs is None or not obs_enabled():
+            try:
+                reply = handler.fn(message, peer)
+            except Exception as exc:  # any handler fault becomes an ERROR reply
+                reply = message.reply(Op.ERROR, {"error": str(exc)})
+            if reply is not None:
+                self._respond(reply, respond)
+            return
+        # Instrumented path: a per-hop span (child of the sender's span,
+        # when the message carries a trace header) plus a per-op latency
+        # histogram.  The span's context is installed thread-locally so
+        # nested requests the handler makes link into the same trace.
+        cached = self._op_instruments.get(message.op)
+        if cached is None:
+            op_name = Op.name_of(message.op)
+            cached = (
+                f"handle.{op_name}",
+                obs.metrics.histogram(f"dispatch.latency_s.{op_name}"),
+            )
+            self._op_instruments[message.op] = cached
+        span_name, histogram = cached
+        parent = TraceContext.from_wire(message.trace)
+        span = obs.spans.start(span_name, parent=parent, tags={"peer": peer})
+        start = time.perf_counter()
+        previous = swap_trace(span.context)
         try:
             reply = handler.fn(message, peer)
         except Exception as exc:  # any handler fault becomes an ERROR reply
             reply = message.reply(Op.ERROR, {"error": str(exc)})
+            span.tags["error"] = str(exc)
+        finally:
+            swap_trace(previous)
+        histogram.observe(time.perf_counter() - start)
+        span.finish()
         if reply is not None:
             self._respond(reply, respond)
 

@@ -22,6 +22,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.control.accounting import UsageLedger
 from repro.control.retry import RetryPolicy
+from repro.core.protocol import Op
 from repro.core.proxy import ProxyServer
 from repro.core.routing import GridDirectory
 from repro.core.site import Site, TaskRegistry
@@ -385,6 +386,60 @@ class Grid:
                     f"{last_error}"
                 )
         return status
+
+    def global_observability(
+        self,
+        via_site: Optional[str] = None,
+        allow_partial: bool = True,
+        trace_id: Optional[str] = None,
+        max_spans: Optional[int] = None,
+    ) -> dict[str, Optional[dict]]:
+        """Compile the grid-wide telemetry view, one dump per site.
+
+        Observability follows the same layer-3 model as status: each
+        proxy keeps only its own site's metrics and spans, and the grid
+        view is compiled on demand by asking every peer over ``OBS_DUMP``.
+        ``trace_id`` narrows each site's spans to one trace — the way to
+        see a single request's per-hop story across the grid.
+
+        ``allow_partial`` (the default here, unlike status) degrades an
+        unreachable site to ``None``: a telemetry query should not fail
+        because the grid is in exactly the state worth looking at.
+        """
+        if not self.sites:
+            return {}
+        origin_name = via_site or sorted(self.sites)[0]
+        origin = self.proxy_of(origin_name)
+        body = {}
+        if trace_id is not None:
+            body["trace"] = trace_id
+        if max_spans is not None:
+            body["max_spans"] = max_spans
+        view: dict[str, Optional[dict]] = {
+            origin.site.name: origin.observability(
+                trace_id=trace_id, max_spans=max_spans
+            )
+        }
+        for site in self.directory.sites():
+            if site == origin.site.name:
+                continue
+            last_error = None
+            for peer in origin.ranked_peers(self.directory.proxies_of_site(site)):
+                try:
+                    reply = origin.request(peer, Op.OBS_DUMP, dict(body))
+                    view[site] = reply.body.get("obs")
+                    break
+                except Exception as exc:
+                    last_error = exc
+            else:
+                if allow_partial:
+                    view[site] = None
+                    continue
+                raise GridError(
+                    f"no proxy of site {site!r} answered the telemetry "
+                    f"query: {last_error}"
+                )
+        return view
 
     # ------------------------------------------------------------------
     # MPI over the grid

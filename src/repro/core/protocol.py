@@ -54,6 +54,8 @@ class Op:
     STATUS_REPORT = 201
     LOCATE_RESOURCE = 202  # resource location service
     RESOURCE_FOUND = 203
+    OBS_DUMP = 210  # "send me your metrics and trace spans"
+    OBS_DATA = 211
     # -- authentication / permissions (layer 2)
     AUTH_CHECK = 300  # validate a user credential at the destination
     AUTH_OK = 301
@@ -95,7 +97,8 @@ Op._names = {
 #: MPI_END mutate address-space state, so those are excluded and a caller
 #: must treat their timeouts as indeterminate rather than retry blindly.
 IDEMPOTENT_OPS = frozenset(
-    {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK}
+    {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK,
+     Op.OBS_DUMP}
 )
 
 _extension_codes = itertools.count(1000)
@@ -126,21 +129,34 @@ _message_ids = itertools.count(1)
 
 @dataclass
 class ControlMessage:
-    """A control request or reply between proxies."""
+    """A control request or reply between proxies.
+
+    ``trace`` is the expandable-header trace context (``{"tid", "sid"}``
+    as produced by :meth:`repro.obs.trace.TraceContext.to_wire`): the
+    originating proxy stamps it on requests, the dispatch pipeline
+    copies it onto replies, and peers that predate it simply ignore the
+    extra header key — the expandability the paper calls for.
+    """
 
     op: int
     body: dict[str, Any] = field(default_factory=dict)
     message_id: int = field(default_factory=lambda: next(_message_ids))
     reply_to: Optional[int] = None
     sender: str = ""
+    trace: Optional[dict[str, str]] = None
 
     def is_reply(self) -> bool:
         return self.reply_to is not None
 
     def reply(self, op: int, body: Optional[dict[str, Any]] = None, sender: str = "") -> "ControlMessage":
-        """Construct the reply correlated to this message."""
+        """Construct the reply correlated to this message.
+
+        The reply inherits the request's trace context, so the round
+        trip stays linkable at both ends.
+        """
         return ControlMessage(
-            op=op, body=body or {}, reply_to=self.message_id, sender=sender
+            op=op, body=body or {}, reply_to=self.message_id, sender=sender,
+            trace=self.trace,
         )
 
     def to_frame(self) -> Frame:
@@ -153,6 +169,8 @@ class ControlMessage:
         }
         if self.reply_to is not None:
             headers["reply_to"] = self.reply_to
+        if self.trace is not None:
+            headers["trace"] = self.trace
         return Frame(
             kind=FrameKind.CONTROL, headers=headers, payload=encode_value(self.body)
         )
@@ -171,12 +189,16 @@ class ControlMessage:
         body = decode_value(frame.payload)
         if not isinstance(body, dict):
             raise ProtocolError("control body is not a dict")
+        trace = frame.headers.get("trace")
+        if not isinstance(trace, dict):
+            trace = None  # advisory header: malformed context is dropped
         return cls(
             op=op,
             body=body,
             message_id=message_id,
             reply_to=frame.headers.get("reply_to"),
             sender=frame.headers.get("sender", ""),
+            trace=trace,
         )
 
     def __repr__(self) -> str:

@@ -41,6 +41,8 @@ from repro.core.protocol import (
 )
 from repro.core.routing import GridDirectory
 from repro.core.site import Site
+from repro.obs import ObsHub
+from repro.obs.trace import current_trace, use_trace
 from repro.core.tunnel import Tunnel, TunnelError
 from repro.core.virtual_slave import AppSpace
 from repro.security.auth import (
@@ -144,10 +146,19 @@ class ProxyServer:
         self.last_heard: dict[str, float] = {}
         #: pluggable hooks (the failure detector and tests subscribe here)
         self.on_peer_lost: list[Callable[[str], None]] = []
+        #: this proxy's observability hub — its own site's telemetry
+        #: only, per the paper's layer-3 model; the grid view is compiled
+        #: on demand over OBS_DUMP, never pushed.
+        self.obs = ObsHub(name, clock=clock)
+        _m = self.obs.metrics
+        self._m_req_sent = _m.counter("request.sent")
+        self._m_req_retries = _m.counter("request.retries")
+        self._m_req_timeouts = _m.counter("request.timeouts")
+        self._m_req_unavailable = _m.counter("request.peer_unavailable")
         #: the layered control-plane pipeline: decode → authorize →
         #: handler lookup → respond, blocking handlers on a sized pool
         self.pipeline = DispatchPipeline(
-            name=f"{name}-dispatch", workers=dispatch_workers
+            name=f"{name}-dispatch", workers=dispatch_workers, obs=self.obs
         )
         self._register_handlers()
         #: extension op handlers: op code -> fn(message, peer) -> reply |
@@ -162,6 +173,14 @@ class ProxyServer:
         self.health = FailureDetector(
             clock=clock, suspect_after=suspect_after, dead_after=dead_after
         )
+        # Failure-detector transitions are rare and load-bearing: count
+        # every one, so a flapping peer is visible in the OBS_DUMP view.
+        _m_suspect = _m.counter("health.transitions.suspect")
+        _m_dead = _m.counter("health.transitions.dead")
+        _m_recover = _m.counter("health.transitions.recover")
+        self.health.on_suspect.append(lambda peer: _m_suspect.inc())
+        self.health.on_dead.append(lambda peer: _m_dead.inc())
+        self.health.on_recover.append(lambda peer: _m_recover.inc())
 
     # ------------------------------------------------------------------
     # Layer 1: tunnels
@@ -276,6 +295,7 @@ class ProxyServer:
         # A dead tunnel must not strand request() callers mid-wait — but
         # only requests sent over *this* tunnel are affected.
         tunnel.on_close(self._cancel_inflight_for_peer)
+        tunnel.bind_metrics(self.obs.metrics)
         with self._tunnel_lock:
             self._tunnels[tunnel.peer_name] = tunnel
         self.last_heard[tunnel.peer_name] = self.clock()
@@ -363,7 +383,36 @@ class ProxyServer:
         timeouts and tunnel send failures; ``timeout`` is the *total*
         deadline budget across attempts.  Everything else runs exactly
         once — a duplicated JOB_SUBMIT would execute twice.
+
+        Every request runs inside a span: the span's context is stamped
+        on the outgoing message, so the peer's handler span becomes its
+        child and a cross-site round trip reads as one trace.
         """
+        self._m_req_sent.inc()
+        span = self.obs.spans.start(
+            f"request.{Op.name_of(op)}",
+            parent=current_trace(),
+            tags={"peer": peer_proxy},
+        )
+        try:
+            with use_trace(span.context):
+                return self._request_with_retry(
+                    peer_proxy, op, body, timeout, retry
+                )
+        except ProxyError as exc:
+            span.tags["error"] = str(exc)
+            raise
+        finally:
+            span.finish()
+
+    def _request_with_retry(
+        self,
+        peer_proxy: str,
+        op: int,
+        body: Optional[dict],
+        timeout: float,
+        retry: Optional[RetryPolicy],
+    ) -> ControlMessage:
         policy = retry if retry is not None else self.retry_policy
         idempotent = op in IDEMPOTENT_OPS
         if policy is None or not idempotent or policy.max_attempts <= 1:
@@ -372,21 +421,34 @@ class ProxyServer:
         # request leaves room for its retries within ``timeout``.
         slice_timeout = timeout / policy.max_attempts
         policy = dataclasses.replace(policy, deadline=timeout)
-        try:
-            return policy.call(
-                lambda deadline: self._request_once(
-                    peer_proxy, op, body, max(deadline.clamp(slice_timeout), 0.001)
-                ),
-                idempotent=True,
+        attempts = 0
+
+        def attempt(deadline):
+            nonlocal attempts
+            attempts += 1
+            if attempts > 1:
+                self._m_req_retries.inc()
+            return self._request_once(
+                peer_proxy, op, body, max(deadline.clamp(slice_timeout), 0.001)
             )
+
+        try:
+            return policy.call(attempt, idempotent=True)
         except RetryError as exc:
             raise exc.last
 
     def _request_once(
         self, peer_proxy: str, op: int, body: Optional[dict], timeout: float
     ) -> ControlMessage:
-        tunnel = self.tunnel_to(peer_proxy)  # raises PeerUnavailable
+        try:
+            tunnel = self.tunnel_to(peer_proxy)
+        except PeerUnavailable:
+            self._m_req_unavailable.inc()
+            raise
         message = ControlMessage(op=op, body=body or {}, sender=self.name)
+        ctx = current_trace()
+        if ctx is not None:
+            message.trace = ctx.to_wire()
         self._tracker.expect(message)
         with self._inflight_lock:
             self._inflight_by_peer.setdefault(peer_proxy, set()).add(
@@ -396,12 +458,14 @@ class ProxyServer:
             try:
                 self._send_control(tunnel, message)
             except TunnelError as exc:
+                self._m_req_unavailable.inc()
                 raise PeerUnavailable(
                     f"send to {peer_proxy!r} failed: tunnel closed ({exc})"
                 ) from exc
             try:
                 reply = self._tracker.wait(message.message_id, timeout=timeout)
             except ProtocolError as exc:
+                self._m_req_timeouts.inc()
                 raise RequestTimeout(
                     f"{Op.name_of(op)} to {peer_proxy!r} got no reply "
                     f"within {timeout:.3f}s"
@@ -413,6 +477,7 @@ class ProxyServer:
                 )
         if reply.op == Op.ERROR:
             if reply.body.get("cancelled"):
+                self._m_req_unavailable.inc()
                 raise PeerUnavailable(
                     f"request to {peer_proxy!r} cancelled: "
                     f"{reply.body.get('error')}"
@@ -459,6 +524,7 @@ class ProxyServer:
             ),
         )
         pipe.register(Op.LOCATE_RESOURCE, self._handle_locate)
+        pipe.register(Op.OBS_DUMP, self._handle_obs_dump)
         pipe.register(Op.AUTH_CHECK, self._handle_auth_check)
         pipe.register(Op.JOB_SUBMIT, self._handle_job_submit, blocking=True)
         pipe.register(
@@ -496,6 +562,46 @@ class ProxyServer:
     ) -> ControlMessage:
         self.end_app(message.body.get("app", ""))
         return message.reply(Op.MPI_ENDED, {})
+
+    def _handle_obs_dump(
+        self, message: ControlMessage, peer: str
+    ) -> ControlMessage:
+        dump = self.observability(
+            trace_id=message.body.get("trace"),
+            max_spans=message.body.get("max_spans"),
+        )
+        return message.reply(Op.OBS_DATA, {"obs": dump})
+
+    def observability(
+        self,
+        trace_id: Optional[str] = None,
+        max_spans: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """This proxy's full telemetry view: metrics, spans, link traffic.
+
+        The body served to ``OBS_DUMP`` peers and to the local UI; only
+        this site's data, compiled fresh on each call.
+        """
+        dump = self.obs.dump(trace_id=trace_id, max_spans=max_spans)
+        with self._tunnel_lock:
+            tunnels = dict(self._tunnels)
+        dump["tunnels"] = {
+            peer_name: {
+                "alive": tunnel.alive,
+                "cipher_suite": tunnel.cipher_suite,
+                "frames_sent": tunnel.stats.frames_sent,
+                "frames_received": tunnel.stats.frames_received,
+                "bytes_sent": tunnel.stats.bytes_sent,
+                "bytes_received": tunnel.stats.bytes_received,
+            }
+            for peer_name, tunnel in tunnels.items()
+        }
+        dump["health"] = {
+            peer_name: self.health.state_of(peer_name).value
+            for peer_name in tunnels
+            if self.health.is_watching(peer_name)
+        }
+        return dump
 
     # ------------------------------------------------------------------
     # Layer 2: authentication and permissions

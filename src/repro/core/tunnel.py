@@ -79,6 +79,20 @@ class Tunnel:
         self._send_lock = threading.Lock()
         #: "reactor" | "threaded" | None (not started)
         self.mode: Optional[str] = None
+        #: owning proxy's metrics registry; set by the proxy on install,
+        #: None for bare tunnels (tests, benchmarks baseline)
+        self.metrics = None
+        self._m_sent = None
+        self._m_busy = None
+        self._m_send_errors = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach the owner's registry; send-path counters go there."""
+        self.metrics = registry
+        if registry is not None:
+            self._m_sent = registry.counter("tunnel.frames_sent")
+            self._m_busy = registry.counter("tunnel.backpressure")
+            self._m_send_errors = registry.counter("tunnel.send_errors")
 
     # -- construction ---------------------------------------------------------
 
@@ -305,12 +319,18 @@ class Tunnel:
             self._secure.send(frame)
         except ChannelBusy as exc:
             # Backpressure: the tunnel is congested, not broken.
+            if self._m_busy is not None:
+                self._m_busy.inc()
             raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
+            if self._m_send_errors is not None:
+                self._m_send_errors.inc()
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
         finally:
             self._send_lock.release()
+        if self._m_sent is not None:
+            self._m_sent.inc()
 
     def send_many(self, frames) -> None:
         """Send a burst of frames, coalescing records into one socket write.
@@ -330,12 +350,18 @@ class Tunnel:
         try:
             self._secure.send_many(frames)
         except ChannelBusy as exc:
+            if self._m_busy is not None:
+                self._m_busy.inc()
             raise TunnelBusy(f"tunnel send refused: {exc}") from exc
         except TransportError as exc:
+            if self._m_send_errors is not None:
+                self._m_send_errors.inc()
             self.close()
             raise TunnelError(f"tunnel send failed: {exc}") from exc
         finally:
             self._send_lock.release()
+        if self._m_sent is not None:
+            self._m_sent.inc(len(frames))
 
     @property
     def alive(self) -> bool:

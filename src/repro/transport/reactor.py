@@ -44,6 +44,7 @@ import time
 from collections import deque
 from typing import Callable, Iterable, Optional
 
+from repro.obs.metrics import get_global_registry
 from repro.transport.channel import Channel
 from repro.transport.errors import (
     ChannelBusy,
@@ -217,6 +218,12 @@ class _Loop:
         self._running = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.thread_ident: Optional[int] = None
+        # Shared-infrastructure instruments (the reactor belongs to the
+        # process, not to any one proxy): timer lag is the loop-health
+        # signal — how late the loop gets to work it promised to run.
+        metrics = get_global_registry()
+        self._m_timer_lag = metrics.histogram("reactor.timer_lag_s")
+        self._m_callbacks = metrics.counter("reactor.callbacks")
 
     # -- lifecycle -------------------------------------------------------
 
@@ -321,6 +328,8 @@ class _Loop:
                     events = self._selector.select(timeout)
                 except OSError:
                     events = []
+                if events:
+                    self._m_callbacks.inc(len(events))
                 for key, mask in events:
                     try:
                         key.data(mask)
@@ -352,8 +361,12 @@ class _Loop:
         due: list[TimerHandle] = []
         with self._timer_lock:
             while self._timers and self._timers[0][0] <= now:
-                _, _, handle = heapq.heappop(self._timers)
+                deadline, _, handle = heapq.heappop(self._timers)
                 if not handle.cancelled:
+                    # Loop lag: how far past its deadline the loop got to
+                    # this timer.  A busy loop (slow handler, storming
+                    # channel) shows up here before anything else.
+                    self._m_timer_lag.observe(now - deadline)
                     due.append(handle)
         for handle in due:
             try:
@@ -505,6 +518,9 @@ class ReactorTcpChannel(Channel):
         self._wq: deque = deque()  # (views, frame_size)
         self._wq_bytes = 0
         self._wq_cond = threading.Condition()
+        # Process-level backlog gauge: the sum of every channel's pending
+        # write bytes.  A rising value means peers are not keeping up.
+        self._m_wq_gauge = get_global_registry().gauge("reactor.write_queue_bytes")
         self._flush_scheduled = False
         self._write_armed = False
         self._closed = threading.Event()
@@ -648,6 +664,7 @@ class ReactorTcpChannel(Channel):
                 self._wq.append((views, size))
                 self._wq_bytes += size
                 self.stats.on_send(size)
+            self._m_wq_gauge.add(need)
             schedule = not self._flush_scheduled and not self._write_armed
             if schedule:
                 self._flush_scheduled = True
@@ -692,6 +709,7 @@ class ReactorTcpChannel(Channel):
             error = exc
         # Trim fully-written frames off the queue; re-arm for the rest.
         with self._wq_cond:
+            before = self._wq_bytes
             remaining = sent_total
             while self._wq and remaining >= self._wq[0][1]:
                 _, size = self._wq.popleft()
@@ -716,6 +734,7 @@ class ReactorTcpChannel(Channel):
                 self._wq[0] = (list(flat), size - remaining)
                 self._wq_bytes -= remaining
             pending = bool(self._wq) and error is None
+            self._m_wq_gauge.add(self._wq_bytes - before)
             self._wq_cond.notify_all()
         if error is not None:
             self.close()
@@ -745,6 +764,7 @@ class ReactorTcpChannel(Channel):
         self._closed.set()
         with self._wq_cond:
             self._wq.clear()
+            self._m_wq_gauge.add(-self._wq_bytes)
             self._wq_bytes = 0
             self._wq_cond.notify_all()
         self.reactor_loop.schedule(self._close_on_loop)

@@ -12,6 +12,7 @@ set by flags), then performs the requested grid function against it:
 ``proxigrid mpi-pi``     MPI π estimation across all sites
 ``proxigrid web``        serve the web interface until interrupted
 ``proxigrid topology``   sites, proxies, tunnels
+``proxigrid obs``        compiled grid telemetry (metrics + trace spans)
 """
 
 from __future__ import annotations
@@ -67,6 +68,17 @@ def _cmd_station(grid: Grid, args) -> int:
 
 def _cmd_topology(grid: Grid, args) -> int:
     print(json.dumps(GridApi(grid).topology(), indent=2))
+    return 0
+
+
+def _cmd_obs(grid: Grid, args) -> int:
+    # Exercise the control plane first so the dump has something to show:
+    # a cross-site status compile stamps request/handle spans everywhere.
+    grid.global_status()
+    view = GridApi(grid).observability(
+        trace_id=args.trace, max_spans=args.max_spans
+    )
+    print(json.dumps(view, indent=2))
     return 0
 
 
@@ -138,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("topology", help="sites, proxies and tunnels")
 
+    obs = sub.add_parser("obs", help="compiled grid telemetry (OBS_DUMP)")
+    obs.add_argument("--trace", default=None, help="filter spans to one trace id")
+    obs.add_argument("--max-spans", type=int, default=None, dest="max_spans")
+
     submit = sub.add_parser("submit", help="submit an authenticated job")
     submit.add_argument("--user", default="demo")
     submit.add_argument("--password", default="demo")
@@ -159,6 +175,7 @@ _COMMANDS = {
     "status": _cmd_status,
     "station": _cmd_station,
     "topology": _cmd_topology,
+    "obs": _cmd_obs,
     "submit": _cmd_submit,
     "mpi-pi": _cmd_mpi_pi,
     "web": _cmd_web,

@@ -10,6 +10,7 @@ Path                  Content
 ``/api/status``       JSON compiled global status
 ``/api/topology``     JSON sites/proxies/tunnels
 ``/api/station?node`` JSON single station state
+``/api/obs``          JSON compiled telemetry (``?trace=<id>`` filters)
 ====================  ==========================================
 
 Read-only by design: mutating operations go through the authenticated
@@ -102,6 +103,16 @@ class GridWebServer:
                         query = parse_qs(parsed.query)
                         node = query.get("node", [""])[0]
                         self._json(api.station_state(node))
+                    elif parsed.path == "/api/obs":
+                        query = parse_qs(parsed.query)
+                        trace = query.get("trace", [None])[0]
+                        raw_max = query.get("max_spans", [None])[0]
+                        self._json(
+                            api.observability(
+                                trace_id=trace,
+                                max_spans=int(raw_max) if raw_max else None,
+                            )
+                        )
                     else:
                         self._json({"error": "not found"}, code=404)
                 except GridError as exc:
@@ -143,6 +154,7 @@ def _render_overview(api: GridApi) -> bytes:
 </table>
 <p>JSON: <a href="/api/summary">summary</a> ·
 <a href="/api/status">status</a> ·
-<a href="/api/topology">topology</a></p>
+<a href="/api/topology">topology</a> ·
+<a href="/api/obs">observability</a></p>
 </body></html>"""
     return page.encode("utf-8")

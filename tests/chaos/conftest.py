@@ -25,6 +25,22 @@ def chaos_seeds() -> list[int]:
     return CHAOS_SEEDS
 
 
+def pytest_generate_tests(metafunc):
+    """Parametrize any test asking for ``chaos_seed`` over the seed set.
+
+    This is the single home of the ``CHAOS_SEED`` override: tests take a
+    ``chaos_seed`` argument instead of reading the environment (or
+    snapshotting the seed list at import time) themselves.
+    """
+    if "chaos_seed" in metafunc.fixturenames:
+        # A test may pin its own (sub)set with an explicit parametrize —
+        # e.g. the replay-determinism check runs a slice of the seeds.
+        for marker in metafunc.definition.iter_markers("parametrize"):
+            if "chaos_seed" in str(marker.args[0]):
+                return
+        metafunc.parametrize("chaos_seed", chaos_seeds())
+
+
 @contextmanager
 def replaying(seed: int):
     """Annotate any failure inside the block with its replay seed."""

@@ -23,9 +23,7 @@ from repro.transport.faulty import FaultInjector, FaultPlan, FaultyChannel
 
 from tests.chaos.conftest import chaos_seeds, replaying
 
-pytestmark = pytest.mark.chaos
-
-SEEDS = chaos_seeds()
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
 
 #: Fast handshake retry so injected dial failures do not slow the suite.
 FAST_REDIAL = RetryPolicy(max_attempts=6, base_delay=0.005, max_delay=0.05)
@@ -59,22 +57,21 @@ def build_grid(seed: int, plan: FaultPlan, transport: str = "tcp") -> Grid:
     return grid
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_grid_builds_despite_handshake_disconnects(seed):
+def test_grid_builds_despite_handshake_disconnects(chaos_seed):
     """Mid-handshake disconnects are survived by redialing fresh channels."""
     plan = FaultPlan(disconnect=0.08, delay=0.08, delay_range=(0.0, 0.002),
                      max_faults=1)
-    with replaying(seed):
+    with replaying(chaos_seed):
         try:
-            grid = build_grid(seed, plan)
+            grid = build_grid(chaos_seed, plan)
         except (GridError, TunnelError, ProxyError) as exc:
             pytest.fail(f"redial should have absorbed the faults: {exc}")
         try:
             result = grid.submit_job(
-                "alice", "pw", "echo", {"value": seed},
+                "alice", "pw", "echo", {"value": chaos_seed},
                 origin_site="A", target_site="B",
             )
-            assert result == seed
+            assert result == chaos_seed
         finally:
             grid.shutdown()
 
@@ -101,30 +98,28 @@ def drop_scenario_outcomes(seed: int) -> list[str]:
     return outcomes
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_requests_survive_record_drops(seed):
+def test_requests_survive_record_drops(chaos_seed):
     """Dropped request frames: retries recover, or the error is typed."""
-    with replaying(seed):
-        outcomes = drop_scenario_outcomes(seed)
+    with replaying(chaos_seed):
+        outcomes = drop_scenario_outcomes(chaos_seed)
         assert len(outcomes) == 6
         # max_faults bounds the losses, so retries must pull most through.
         assert outcomes.count("ok") >= 3
 
 
-@pytest.mark.parametrize("seed", SEEDS[:2])
-def test_drop_outcomes_replay_exactly(seed):
-    """Same seed, same fault schedule, same outcome — the replay contract."""
-    with replaying(seed):
-        assert drop_scenario_outcomes(seed) == drop_scenario_outcomes(seed)
+@pytest.mark.parametrize("chaos_seed", chaos_seeds()[:2])
+def test_drop_outcomes_replay_exactly(chaos_seed):
+    """Same chaos_seed, same fault schedule, same outcome — the replay contract."""
+    with replaying(chaos_seed):
+        assert drop_scenario_outcomes(chaos_seed) == drop_scenario_outcomes(chaos_seed)
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_corruption_degrades_cleanly(seed):
+def test_corruption_degrades_cleanly(chaos_seed):
     """A corrupted record kills the tunnel's MAC check — the peer must
     degrade to unavailable, not wedge."""
     plan = FaultPlan(corrupt=0.3, skip=RECORD_TRAFFIC, max_faults=3)
-    with replaying(seed):
-        grid = build_grid(seed, plan)
+    with replaying(chaos_seed):
+        grid = build_grid(chaos_seed, plan)
         origin = grid.proxy_of("A")
         try:
             for _ in range(5):

@@ -21,9 +21,7 @@ from repro.transport.inproc import InprocFabric
 
 from tests.chaos.conftest import chaos_seeds, replaying
 
-pytestmark = pytest.mark.chaos
-
-SEEDS = chaos_seeds()
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
 
 
 def frames(count: int, size: int = 64) -> list[Frame]:
@@ -68,12 +66,11 @@ MIXED_PLAN = FaultPlan(
 )
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_same_seed_same_schedule_and_delivery(seed):
-    """The determinism contract: seed → schedule → delivered bytes."""
-    with replaying(seed):
-        first = run_scenario(seed, MIXED_PLAN)
-        second = run_scenario(seed, MIXED_PLAN)
+def test_same_seed_same_schedule_and_delivery(chaos_seed):
+    """The determinism contract: chaos_seed → schedule → delivered bytes."""
+    with replaying(chaos_seed):
+        first = run_scenario(chaos_seed, MIXED_PLAN)
+        second = run_scenario(chaos_seed, MIXED_PLAN)
         assert first["schedule"] == second["schedule"]
         assert first["payloads"] == second["payloads"]
         assert first["headers"] == second["headers"]
@@ -82,7 +79,7 @@ def test_same_seed_same_schedule_and_delivery(seed):
 
 
 def test_different_seeds_diverge():
-    runs = {tuple(run_scenario(s, MIXED_PLAN)["schedule"]) for s in SEEDS}
+    runs = {tuple(run_scenario(s, MIXED_PLAN)["schedule"]) for s in chaos_seeds()}
     assert len(runs) > 1, "all seeds produced identical schedules"
 
 
@@ -102,20 +99,18 @@ def test_zero_plan_is_transparent():
     assert result["schedule"] == []
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_drop_loses_exactly_the_scheduled_frames(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(drop=0.25))
+def test_drop_loses_exactly_the_scheduled_frames(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(drop=0.25))
         dropped = {idx for (_, idx, action, _) in result["schedule"]}
         assert all(action == "drop" for (_, _, action, _) in result["schedule"])
         survivors = [h["n"] for h in result["headers"]]
         assert survivors == [i for i in range(40) if i not in dropped]
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_corrupt_flips_one_byte(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(corrupt=0.25))
+def test_corrupt_flips_one_byte(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(corrupt=0.25))
         corrupted = {idx for (_, idx, action, _) in result["schedule"]}
         assert corrupted, "no corruption at this rate would be suspicious"
         originals = [f.payload for f in frames(40)]
@@ -129,10 +124,9 @@ def test_corrupt_flips_one_byte(seed):
                 assert payload == original
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_truncate_shortens_never_lengthens(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(truncate=0.25))
+def test_truncate_shortens_never_lengthens(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(truncate=0.25))
         truncated = {idx for (_, idx, action, _) in result["schedule"]}
         assert truncated
         for header, payload in zip(result["headers"], result["payloads"]):
@@ -142,10 +136,9 @@ def test_truncate_shortens_never_lengthens(seed):
                 assert len(payload) == 64
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_reorder_permutes_without_inventing_frames(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(reorder=0.3))
+def test_reorder_permutes_without_inventing_frames(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(reorder=0.3))
         assert result["schedule"], "no reorders at this rate would be suspicious"
         order = [h["n"] for h in result["headers"]]
         survivors = sorted(order)
@@ -160,10 +153,9 @@ def test_reorder_permutes_without_inventing_frames(seed):
             assert order != survivors
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_disconnect_closes_midstream(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(disconnect=0.15))
+def test_disconnect_closes_midstream(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(disconnect=0.15))
         if result["schedule"]:
             assert result["error"] is not None
             assert "injected disconnect" in result["error"]
@@ -171,15 +163,14 @@ def test_disconnect_closes_midstream(seed):
             assert (direction, action) == ("send", "disconnect")
             # Everything before the disconnect was delivered untouched.
             assert [h["n"] for h in result["headers"]] == list(range(index))
-        else:  # this seed scheduled no disconnect in 40 frames
+        else:  # this chaos_seed scheduled no disconnect in 40 frames
             assert result["error"] is None
             assert len(result["headers"]) == 40
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_delay_preserves_content_and_order(seed):
-    with replaying(seed):
-        result = run_scenario(seed, FaultPlan(delay=0.3, delay_range=(0.0, 0.002)))
+def test_delay_preserves_content_and_order(chaos_seed):
+    with replaying(chaos_seed):
+        result = run_scenario(chaos_seed, FaultPlan(delay=0.3, delay_range=(0.0, 0.002)))
         assert [h["n"] for h in result["headers"]] == list(range(40))
         assert all(a == "delay" for (_, _, a, _) in result["schedule"])
 

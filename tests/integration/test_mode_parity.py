@@ -1,0 +1,188 @@
+"""Dual-mode conformance: the reactor and threaded engines must agree.
+
+``REPRO_IO`` selects between two I/O engines — the shared-reactor event
+loop and the thread-per-connection escape hatch.  They are different
+machinery under the same contract, so every grid-level scenario here
+runs once per engine and the *observable* results are compared for
+equality: same status tables, same MPI answers, same failover outcome,
+same echo payloads.  Timing, thread counts, and telemetry are allowed to
+differ; answers are not.
+
+Each scenario is a pure function of a freshly-built grid that returns a
+deterministic, comparable value.  The parity assertion is then literal
+``==`` between the two engines' results.
+"""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.protocol import Op
+from repro.mpi.datatypes import SUM
+
+MODES = ("reactor", "threaded")
+
+
+def _run_in_mode(io: str, scenario, **grid_kwargs):
+    """Build a grid under ``io``, run the scenario, tear down."""
+    grid = Grid(io=io, **grid_kwargs)
+    try:
+        return scenario(grid)
+    finally:
+        grid.shutdown()
+
+
+def _both_modes(scenario, **grid_kwargs) -> dict[str, object]:
+    return {io: _run_in_mode(io, scenario, **grid_kwargs) for io in MODES}
+
+
+def _assert_parity(results: dict[str, object]):
+    assert results["reactor"] == results["threaded"], (
+        f"engines disagree:\n  reactor={results['reactor']!r}\n"
+        f"  threaded={results['threaded']!r}"
+    )
+    return results["reactor"]
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: global status compilation
+# ---------------------------------------------------------------------------
+
+
+def _status_scenario(grid: Grid):
+    grid.add_site("A", nodes=2)
+    grid.add_site("B", nodes=3)
+    grid.connect_all()
+    status = grid.global_status(via_site="A")
+    # Load figures (ram_free, running_tasks) are time-dependent; the
+    # *shape* of the compiled answer is the contract.
+    return {
+        site: sorted(
+            (row["node"], row["site"], row["cpu_speed"], row["alive"])
+            for row in rows
+        )
+        for site, rows in status.items()
+    }
+
+
+def test_global_status_identical_across_engines():
+    compiled = _assert_parity(_both_modes(_status_scenario))
+    assert set(compiled) == {"A", "B"}
+    assert len(compiled["B"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: MPI round-trip across sites
+# ---------------------------------------------------------------------------
+
+
+def _mpi_scenario(grid: Grid):
+    grid.add_site("A", nodes=2)
+    grid.add_site("B", nodes=2)
+    grid.connect_all()
+
+    def app(comm):
+        total = comm.allreduce(comm.rank + 1, SUM, timeout=30.0)
+        return (comm.rank, total)
+
+    result = grid.run_mpi(app, nprocs=4, timeout=60.0)
+    assert not result.errors
+    return {"returns": result.returns, "placement": result.placement}
+
+
+def test_mpi_round_trip_identical_across_engines():
+    outcome = _assert_parity(_both_modes(_mpi_scenario))
+    assert outcome["returns"] == [(rank, 10) for rank in range(4)]
+
+
+# ---------------------------------------------------------------------------
+# Scenario 3: retry failover to a surviving proxy
+# ---------------------------------------------------------------------------
+
+
+def _failover_scenario(grid: Grid):
+    grid.add_site("A", nodes=1)
+    grid.add_site("B", nodes=2)
+    grid.add_extra_proxy("B")
+    grid.connect_all()
+    grid.add_user("alice", "pw")
+    grid.grant("user:alice", "site:*", "submit")
+    grid.proxies["proxy.B"].shutdown()
+    result = grid.submit_job(
+        "alice", "pw", "echo", {"value": "via backup"},
+        origin_site="A", target_site="B", timeout=60.0,
+    )
+    status = grid.global_status(via_site="A")
+    return {"job": result, "b_nodes": len(status["B"])}
+
+
+def test_retry_failover_identical_across_engines():
+    outcome = _assert_parity(_both_modes(_failover_scenario))
+    assert outcome == {"job": "via backup", "b_nodes": 2}
+
+
+# ---------------------------------------------------------------------------
+# Scenario 4: secure tunnel echo (control-plane round trip)
+# ---------------------------------------------------------------------------
+
+
+def _tunnel_echo_scenario(grid: Grid):
+    grid.add_site("A", nodes=1)
+    grid.add_site("B", nodes=1)
+    grid.connect_all()
+    grid.add_user("alice", "pw")
+    grid.grant("user:alice", "site:*", "submit")
+    origin = grid.proxy_of("A")
+    peer = grid.directory.proxy_of_site("B")
+    pong = origin.request(peer, Op.PING, timeout=30.0)
+    payload = {"n": 7, "text": "café", "nested": {"ok": True}}
+    echoed = grid.submit_job(
+        "alice", "pw", "echo", {"value": payload},
+        origin_site="A", target_site="B", timeout=60.0,
+    )
+    return {
+        "pong_op": pong.op,
+        "pong_sender": pong.sender,
+        "echoed": echoed,
+        "tunnel_mode": origin._tunnels[peer].mode,
+    }
+
+
+def test_secure_tunnel_echo_identical_across_engines():
+    results = _both_modes(_tunnel_echo_scenario)
+    # The engine label itself is *expected* to differ — it proves each
+    # grid really ran on its own transport.  Everything else must match.
+    assert results["reactor"].pop("tunnel_mode") == "reactor"
+    assert results["threaded"].pop("tunnel_mode") == "threaded"
+    outcome = _assert_parity(results)
+    assert outcome["pong_op"] == Op.PONG
+    assert outcome["echoed"] == {"n": 7, "text": "café", "nested": {"ok": True}}
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting: OBS_DUMP works over both engines
+# ---------------------------------------------------------------------------
+
+
+def _obs_scenario(grid: Grid):
+    grid.add_site("A", nodes=1)
+    grid.add_site("B", nodes=1)
+    grid.connect_all()
+    origin = grid.proxy_of("A")
+    origin.request(grid.directory.proxy_of_site("B"), Op.PING, timeout=30.0)
+    view = grid.global_observability(via_site="A")
+    return {
+        site: {
+            "name": dump["name"],
+            "has_counters": bool(dump["metrics"]["counters"]),
+        }
+        for site, dump in view.items()
+    }
+
+
+@pytest.mark.parametrize("io", MODES)
+def test_observability_dump_compiles_under_either_engine(io):
+    view = _run_in_mode(io, _obs_scenario)
+    assert view == {
+        "A": {"name": "proxy.A", "has_counters": True},
+        "B": {"name": "proxy.B", "has_counters": True},
+    }

@@ -1,0 +1,120 @@
+"""Property-based tests for the observability layer.
+
+Two invariants the registry stakes its design on:
+
+* **Nothing is lost.**  However counter/gauge/histogram updates are
+  interleaved — across instruments, threads, and orders — the final
+  state is exactly the sum of what was applied.  The instruments take a
+  real lock per update precisely to buy this property; Hypothesis
+  searches the interleavings.
+* **Snapshots are monotone.**  Successive ``OBS_DUMP`` snapshots never
+  show a counter (or a histogram's count) going backwards — the grid
+  view is compiled from point-in-time snapshots taken at different
+  moments, and operators difference them, so regression would read as
+  negative traffic.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+
+# One update instruction: (instrument kind, instrument index, amount).
+_updates = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "gauge", "histogram"]),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=-5, max_value=10),
+    ),
+    max_size=200,
+)
+
+
+def _apply(registry: MetricsRegistry, update) -> None:
+    kind, index, amount = update
+    if kind == "counter":
+        registry.counter(f"c{index}").inc(abs(amount))
+    elif kind == "gauge":
+        registry.gauge(f"g{index}").add(amount)
+    else:
+        registry.histogram(f"h{index}", bounds=[1.0, 10.0]).observe(abs(amount))
+
+
+def _expected(updates) -> dict:
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    hist_counts: dict[str, int] = {}
+    for kind, index, amount in updates:
+        if kind == "counter":
+            counters[f"c{index}"] = counters.get(f"c{index}", 0) + abs(amount)
+        elif kind == "gauge":
+            gauges[f"g{index}"] = gauges.get(f"g{index}", 0) + amount
+        else:
+            hist_counts[f"h{index}"] = hist_counts.get(f"h{index}", 0) + 1
+    return {"counters": counters, "gauges": gauges, "hist_counts": hist_counts}
+
+
+@settings(max_examples=50, deadline=None)
+@given(_updates)
+def test_sequential_interleaving_loses_nothing(updates):
+    registry = MetricsRegistry("prop")
+    for update in updates:
+        _apply(registry, update)
+    snap = registry.snapshot()
+    expected = _expected(updates)
+    assert snap["counters"] == expected["counters"]
+    assert snap["gauges"] == expected["gauges"]
+    assert {
+        name: h["count"] for name, h in snap["histograms"].items()
+    } == expected["hist_counts"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(_updates, st.integers(min_value=2, max_value=4))
+def test_threaded_interleaving_loses_nothing(updates, nthreads):
+    """The same updates split across threads must sum identically: the
+    per-instrument locks make every interleaving equivalent to some
+    sequential order, and these are all order-independent operations."""
+    registry = MetricsRegistry("prop")
+    chunks = [updates[i::nthreads] for i in range(nthreads)]
+    barrier = threading.Barrier(nthreads)
+
+    def worker(chunk):
+        barrier.wait()
+        for update in chunk:
+            _apply(registry, update)
+
+    threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = registry.snapshot()
+    expected = _expected(updates)
+    assert snap["counters"] == expected["counters"]
+    assert snap["gauges"] == expected["gauges"]
+    assert {
+        name: h["count"] for name, h in snap["histograms"].items()
+    } == expected["hist_counts"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(_updates, min_size=2, max_size=5),
+)
+def test_successive_snapshots_are_monotone(update_batches):
+    """Counters and histogram counts never go backwards between dumps."""
+    registry = MetricsRegistry("prop")
+    previous = registry.snapshot()
+    for batch in update_batches:
+        for update in batch:
+            _apply(registry, update)
+        snap = registry.snapshot()
+        for name, value in previous["counters"].items():
+            assert snap["counters"][name] >= value
+        for name, hist in previous["histograms"].items():
+            assert snap["histograms"][name]["count"] >= hist["count"]
+            assert snap["histograms"][name]["max"] >= hist["max"]
+        previous = snap
