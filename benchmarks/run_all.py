@@ -24,6 +24,7 @@ gate is skipped, never failed.
 from __future__ import annotations
 
 import importlib.util
+import json
 import os
 import subprocess
 import sys
@@ -77,6 +78,36 @@ def run_test_profile(quick: bool) -> list[dict]:
             }
         )
     return rows
+
+
+def run_gridlint() -> list[dict]:
+    """Run the invariant checker over ``src/repro``; one summary row.
+
+    Part of the default sweep: a measurement run on a tree that violates
+    its own concurrency/observability invariants is not worth keeping.
+    """
+    cmd = [sys.executable, "-m", "tools.gridlint", "src/repro", "--format=json"]
+    start = time.perf_counter()
+    result = subprocess.run(cmd, cwd=_ROOT, capture_output=True, text=True)
+    try:
+        payload = json.loads(result.stdout or "{}")
+    except ValueError:
+        payload = {}
+    if result.returncode != 0 and result.stdout:
+        print(result.stdout)
+    return [
+        {
+            "files": payload.get("checked_files", "?"),
+            "rules": len(payload.get("rules", [])),
+            "findings": len(payload.get("findings", [])),
+            "suppressed": len(payload.get("suppressed", [])),
+            "baselined": len(payload.get("baselined", [])),
+            "outcome": "passed"
+            if result.returncode == 0
+            else f"FAILED (rc={result.returncode})",
+            "seconds": round(time.perf_counter() - start, 1),
+        }
+    ]
 
 
 def main(argv: list[str]) -> int:
@@ -137,6 +168,9 @@ def main(argv: list[str]) -> int:
         "obs": lambda: [
             ("Obs: instrumentation overhead (gate <5% on tunnel_echo)",
              obs.run_tables(quick=quick)),
+        ],
+        "gridlint": lambda: [
+            ("Gridlint: invariant checks over src/repro", run_gridlint()),
         ],
         "tests": lambda: [
             ("Test profile " + ("(quick)" if quick else "(full)"),

@@ -1,0 +1,42 @@
+"""Root test configuration: the lock-order watchdog.
+
+Installed in ``pytest_configure`` — before collection imports any
+``repro`` module — so locks created at import time are watched too.
+``REPRO_LOCKWATCH=0`` disables it (e.g. to bisect whether the watchdog
+itself perturbs a failure).  Violations accumulate silently during the
+run and fail the session at the end: raising at the acquisition site
+would corrupt whatever code path happened to close the cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+from repro.obs import lockwatch  # noqa: E402
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_LOCKWATCH", "1") != "0"
+
+
+def pytest_configure(config):
+    if _enabled():
+        lockwatch.install()
+
+
+def pytest_terminal_summary(terminalreporter):
+    watchdog = lockwatch.active()
+    if watchdog is not None and watchdog.violations:
+        terminalreporter.section("lock-order watchdog")
+        for violation in watchdog.violations:
+            terminalreporter.write_line(violation)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    watchdog = lockwatch.active()
+    if watchdog is not None and watchdog.violations:
+        session.exitstatus = 3

@@ -42,6 +42,7 @@ from repro.core.protocol import ControlMessage, Op, ProtocolError
 from repro.obs.metrics import enabled as obs_enabled
 from repro.obs.trace import TraceContext, swap_trace
 from repro.transport.frames import Frame
+from repro.transport.reactor import on_reactor_thread
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import ObsHub
@@ -222,7 +223,9 @@ class DispatchPipeline:
             op_name = Op.name_of(message.op)
             cached = (
                 f"handle.{op_name}",
-                obs.metrics.histogram(f"dispatch.latency_s.{op_name}"),
+                obs.metrics.histogram(  # gridlint: disable=GL301 -- per-op cache: lookup paid once per op code, then served from _op_instruments
+                    f"dispatch.latency_s.{op_name}"
+                ),
             )
             self._op_instruments[message.op] = cached
         span_name, histogram = cached
@@ -242,11 +245,27 @@ class DispatchPipeline:
         if reply is not None:
             self._respond(reply, respond)
 
-    def _respond(self, reply: ControlMessage, respond: Respond) -> None:
+    def _respond(
+        self, reply: ControlMessage, respond: Respond, requeued: bool = False
+    ) -> None:
         try:
             respond(reply)
         except Exception:
-            pass  # peer vanished mid-reply
+            # Tunnels refuse to block an event-loop thread: an inline
+            # handler's reply fails fast (TunnelBusy) whenever a worker
+            # momentarily holds the send lock.  That is congestion, not
+            # failure — dropping the reply here silently costs the peer
+            # its full request timeout (fatal for non-idempotent ops,
+            # which never retry).  Retry once from the worker pool,
+            # where a blocking send is safe; a failure there (peer
+            # vanished mid-reply) stays swallowed — callers retry on
+            # timeout, not on our exceptions.
+            if requeued or not on_reactor_thread():
+                return
+            try:
+                self._ensure_pool().submit(self._respond, reply, respond, True)
+            except RuntimeError:
+                pass  # pool shut down mid-dispatch: the proxy is closing
 
     # -- the worker pool -------------------------------------------------
 

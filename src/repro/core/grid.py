@@ -528,7 +528,7 @@ class Grid:
                     errors[rank] = exc
 
         threads = [
-            threading.Thread(
+            threading.Thread(  # gridlint: disable=GL102 -- colocated MPI ranks run arbitrary blocking app code; one thread per rank, joined below
                 target=run_rank, args=(rank,), name=f"{app_id}-rank-{rank}"
             )
             for rank in range(nprocs)

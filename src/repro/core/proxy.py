@@ -206,7 +206,7 @@ class ProxyServer:
                 # Handshakes run off the accept loop (a slow or hostile
                 # dialer must not block other connections); the threads
                 # are tracked so shutdown can join them.
-                worker = threading.Thread(
+                worker = threading.Thread(  # gridlint: disable=GL102 -- handshake does blocking crypto I/O off the accept loop; tracked and joined on shutdown
                     target=self._accept_tunnel,
                     args=(raw,),
                     daemon=True,
@@ -219,7 +219,7 @@ class ProxyServer:
                     self._handshake_threads.append(worker)
                 worker.start()
 
-        self._accept_thread = threading.Thread(
+        self._accept_thread = threading.Thread(  # gridlint: disable=GL102 -- accept loop owns the blocking listener socket; joined on shutdown
             target=accept_loop, daemon=True, name=f"{self.name}-listener"
         )
         self._accept_thread.start()
@@ -982,7 +982,7 @@ class ProxyServer:
             tunnel.start(self.io)
             result["tunnel"] = tunnel
 
-        server = threading.Thread(
+        server = threading.Thread(  # gridlint: disable=GL102 -- one-shot peer for the loopback secure handshake; both sides block until it completes
             target=proxy_side, daemon=True, name=f"{self.name}-local-secure"
         )
         server.start()

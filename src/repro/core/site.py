@@ -103,7 +103,7 @@ class SiteNode:
         self._alive.set()
         self._running = 0
         self._lock = threading.Lock()
-        self._worker = threading.Thread(
+        self._worker = threading.Thread(  # gridlint: disable=GL102 -- the paper's execution model: each station donates one CPU as a dedicated worker
             target=self._work_loop, daemon=True, name=f"node-{name}"
         )
         self._worker.start()

@@ -85,7 +85,9 @@ def mpirun(
                 errors[rank] = exc
 
     threads = [
-        threading.Thread(target=run_rank, args=(rank,), name=f"mpi-rank-{rank}")
+        threading.Thread(  # gridlint: disable=GL102 -- MPI rank bodies are blocking user code; one thread per rank, joined below
+            target=run_rank, args=(rank,), name=f"mpi-rank-{rank}"
+        )
         for rank in range(nprocs)
     ]
     for thread in threads:

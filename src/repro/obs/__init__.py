@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     reset_global_registry,
     set_enabled,
 )
+from repro.obs.lockwatch import LockOrderError, LockOrderWatchdog
 from repro.obs.trace import (
     Span,
     SpanRecorder,
@@ -40,6 +41,8 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "LockOrderError",
+    "LockOrderWatchdog",
     "MetricsRegistry",
     "ObsHub",
     "Span",
@@ -64,7 +67,7 @@ class ObsHub:
         name: str,
         clock: Callable[[], float] = time.time,
         span_capacity: int = 2048,
-    ):
+    ) -> None:
         self.name = name
         self.metrics = MetricsRegistry(name=name)
         self.spans = SpanRecorder(origin=name, capacity=span_capacity, clock=clock)

@@ -1,0 +1,300 @@
+"""Runtime lock-order watchdog: lockdep for the test suite.
+
+gridlint's GL103 extracts lock orders a class exhibits *lexically*; this
+module records the orders the process exhibits *dynamically*, across
+classes and through dispatch the AST cannot follow.  The two are a pair:
+the static rule catches what never runs under test, the watchdog catches
+what the static view cannot resolve.
+
+Model (a deliberately small lockdep):
+
+* every watched lock gets a monotonic **serial** at creation (never
+  ``id()`` — freed locks recycle ids and would weld unrelated locks into
+  false cycles);
+* each thread keeps a stack of serials it currently holds;
+* acquiring ``b`` while holding ``a`` inserts the directed edge
+  ``a → b`` into a process-wide graph (first witness wins: we keep the
+  thread and creation sites for the report);
+* a new edge that closes a directed cycle is a **violation** — two code
+  paths take the same locks in opposite orders, i.e. a latent deadlock.
+
+Violations are *recorded*, not raised at the acquisition site (raising
+inside arbitrary lock acquisitions corrupts unrelated code paths);
+``assert_clean()`` — called from ``pytest_sessionfinish`` — fails the
+suite with the full report.
+
+:func:`install` patches ``threading.Lock``/``threading.RLock`` so every
+lock created afterwards is watched; it is called from the root
+``conftest.py`` before collection (import-time locks included) and is
+disabled with ``REPRO_LOCKWATCH=0``.  Production code never imports this
+module at runtime — the patch exists only under tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+from types import FrameType
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderWatchdog",
+    "active",
+    "install",
+    "raw_lock",
+    "raw_rlock",
+    "uninstall",
+]
+
+
+class LockOrderError(AssertionError):
+    """Raised by :meth:`LockOrderWatchdog.assert_clean` on recorded cycles."""
+
+
+def _creation_site() -> str:
+    """``file:line`` of the frame that created a lock (best effort)."""
+    frame: Optional[FrameType] = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if "threading" not in filename and "lockwatch" not in filename:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class _WatchedLock:
+    """Delegating wrapper around a real lock, reporting to a watchdog.
+
+    Implements the full ``Lock``/``RLock`` surface ``threading.Condition``
+    probes for (``_is_owned``, and for RLocks ``_release_save`` /
+    ``_acquire_restore``) so wrapped locks remain valid Condition
+    arguments.  Unknown attributes delegate to the real lock.
+    """
+
+    __slots__ = ("_lock", "_serial", "_site", "_watchdog", "_owner", "__weakref__")
+
+    def __init__(
+        self, watchdog: "LockOrderWatchdog", lock: Any, serial: int, site: str
+    ):
+        self._watchdog = watchdog
+        self._lock = lock
+        self._serial = serial
+        self._site = site
+        self._owner: Optional[int] = None
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._watchdog.note_acquire(self)
+        return bool(acquired)
+
+    def release(self) -> None:
+        self._watchdog.note_release(self)
+        if self._owner == threading.get_ident():
+            self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return bool(self._lock.locked())
+
+    def __enter__(self) -> "_WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def _is_owned(self) -> bool:
+        is_owned = getattr(self._lock, "_is_owned", None)
+        if is_owned is not None:
+            return bool(is_owned())
+        return self._owner == threading.get_ident()
+
+    def _release_save(self) -> Any:
+        # Condition.wait: RLocks drop every recursion level at once;
+        # plain locks (no _release_save of their own) just release.
+        self._watchdog.note_release_all(self)
+        inner = getattr(self._lock, "_release_save", None)
+        if inner is not None:
+            return inner()
+        self._lock.release()
+        return None
+
+    def _acquire_restore(self, state: Any) -> None:
+        inner = getattr(self._lock, "_acquire_restore", None)
+        if inner is not None:
+            inner(state)
+        else:
+            self._lock.acquire()
+        self._owner = threading.get_ident()
+        self._watchdog.note_acquire(self)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_lock"), name)
+
+    def __repr__(self) -> str:
+        return f"<watched {self._lock!r} serial={self._serial} from {self._site}>"
+
+
+class LockOrderWatchdog:
+    """Process-wide acquisition-order graph with cycle detection."""
+
+    def __init__(self) -> None:
+        self._serials = itertools.count(1)
+        self._tls = threading.local()
+        # The bookkeeping mutex must be a *real* lock: a watched one
+        # would recurse into note_acquire forever.
+        self._mutex = _real_lock_factory()
+        self._edges: dict[tuple[int, int], str] = {}
+        self._adjacency: dict[int, set[int]] = {}
+        self._sites: dict[int, str] = {}
+        self.violations: list[str] = []
+
+    # -- wrapping --------------------------------------------------------
+
+    def wrap(self, lock: Any, site: Optional[str] = None) -> _WatchedLock:
+        serial = next(self._serials)
+        site = site if site is not None else _creation_site()
+        self._sites[serial] = site
+        return _WatchedLock(self, lock, serial, site)
+
+    # -- acquisition hooks ----------------------------------------------
+
+    def _held(self) -> list[int]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def note_acquire(self, lock: _WatchedLock) -> None:
+        held = self._held()
+        serial = lock._serial
+        if serial in held:  # re-entrant RLock acquire: no new ordering info
+            held.append(serial)
+            return
+        if held:
+            self._add_edge(held[-1], serial)
+        held.append(serial)
+
+    def note_release(self, lock: _WatchedLock) -> None:
+        held = self._held()
+        serial = lock._serial
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == serial:
+                del held[index]
+                return
+
+    def note_release_all(self, lock: _WatchedLock) -> None:
+        held = self._held()
+        serial = lock._serial
+        held[:] = [entry for entry in held if entry != serial]
+
+    # -- graph -----------------------------------------------------------
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if (src, dst) in self._edges:  # unlocked fast path (GIL-atomic read)
+            return
+        with self._mutex:
+            if (src, dst) in self._edges:
+                return
+            cycle = self._path(dst, src)
+            self._edges[(src, dst)] = threading.current_thread().name
+            self._adjacency.setdefault(src, set()).add(dst)
+            if cycle is not None:
+                self._record_violation([src, *cycle])
+
+    def _path(self, start: int, goal: int) -> Optional[list[int]]:
+        """Serial path ``start .. goal`` if one exists (DFS)."""
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        seen: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._adjacency.get(node, ()):
+                stack.append((nxt, [*path, nxt]))
+        return None
+
+    def _record_violation(self, cycle: list[int]) -> None:
+        # ``cycle`` is already a closed walk (src -> ... -> src).
+        labels = [
+            f"lock#{serial} ({self._sites.get(serial, '<unknown>')})"
+            for serial in cycle
+        ]
+        thread = threading.current_thread().name
+        self.violations.append(
+            "lock order cycle: " + " -> ".join(labels) + f" [closed by {thread}]"
+        )
+
+    # -- reporting -------------------------------------------------------
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            raise LockOrderError(
+                f"{len(self.violations)} lock-order violation(s):\n"
+                + "\n".join(f"  {v}" for v in self.violations)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Global install (threading.Lock / threading.RLock patch)
+# ---------------------------------------------------------------------------
+
+_active: Optional[LockOrderWatchdog] = None
+_original_lock: Callable[[], Any] = threading.Lock
+_original_rlock: Callable[[], Any] = threading.RLock
+
+
+def _real_lock_factory() -> Any:
+    """An *unwatched* mutex, regardless of whether install() ran."""
+    return _original_lock()
+
+
+def raw_lock() -> Any:
+    """An unwatched ``threading.Lock`` (for tests exercising private
+    watchdog instances without polluting the global graph)."""
+    return _original_lock()
+
+
+def raw_rlock() -> Any:
+    """An unwatched ``threading.RLock`` (see :func:`raw_lock`)."""
+    return _original_rlock()
+
+
+def active() -> Optional[LockOrderWatchdog]:
+    return _active
+
+
+def install() -> LockOrderWatchdog:
+    """Patch the ``threading`` lock factories; idempotent."""
+    global _active
+    if _active is not None:
+        return _active
+    watchdog = LockOrderWatchdog()
+
+    def make_lock() -> _WatchedLock:
+        return watchdog.wrap(_original_lock())
+
+    def make_rlock() -> _WatchedLock:
+        return watchdog.wrap(_original_rlock())
+
+    threading.Lock = make_lock  # type: ignore[assignment]
+    threading.RLock = make_rlock  # type: ignore[assignment]
+    _active = watchdog
+    return watchdog
+
+
+def uninstall() -> None:
+    """Restore the original factories (already-wrapped locks keep
+    reporting to the now-inactive watchdog; they stay functional)."""
+    global _active
+    threading.Lock = _original_lock  # type: ignore[assignment]
+    threading.RLock = _original_rlock  # type: ignore[assignment]
+    _active = None

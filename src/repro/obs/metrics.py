@@ -29,7 +29,7 @@ from __future__ import annotations
 import bisect
 import os
 import threading
-from typing import Any, Optional, Sequence
+from typing import Callable, Optional, Sequence, TypeVar
 
 __all__ = [
     "Counter",
@@ -52,6 +52,10 @@ DEFAULT_LATENCY_BUCKETS = (
 
 _enabled = os.environ.get("REPRO_OBS", "on").lower() not in ("off", "0", "false")
 
+#: Get-or-create type parameter: the registry stores heterogeneous
+#: instruments but each name resolves to exactly one concrete kind.
+_InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
+
 
 def set_enabled(flag: bool) -> None:
     """Globally enable/disable every instrument (benchmarks toggle this)."""
@@ -68,7 +72,7 @@ class Counter:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
         self._lock = threading.Lock()
@@ -90,7 +94,7 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
         self._lock = threading.Lock()
@@ -125,7 +129,9 @@ class Histogram:
     __slots__ = ("name", "bounds", "_counts", "_overflow", "_sum", "_count",
                  "_max", "_lock")
 
-    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds}")
         self.name = name
@@ -177,14 +183,14 @@ class Histogram:
                     return edge
             return self._max  # rank fell in the overflow bucket
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(self) -> dict[str, object]:
         with self._lock:
             counts = list(self._counts)
             overflow = self._overflow
             total = self._count
             total_sum = self._sum
             observed_max = self._max
-        out: dict[str, Any] = {
+        out: dict[str, object] = {
             "count": total,
             "sum": total_sum,
             "max": observed_max,
@@ -206,18 +212,21 @@ class MetricsRegistry:
     in ``OBS_DUMP`` replies.
     """
 
-    def __init__(self, name: str = "metrics"):
+    def __init__(self, name: str = "metrics") -> None:
         self.name = name
-        self._instruments: dict[str, Any] = {}
+        self._instruments: dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, name: str, kind, factory):
+    def _get_or_create(
+        self, name: str, kind: type[_InstrumentT], factory: Callable[[], _InstrumentT]
+    ) -> _InstrumentT:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
-                instrument = factory()
-                self._instruments[name] = instrument
-            elif not isinstance(instrument, kind):
+                created = factory()
+                self._instruments[name] = created
+                return created
+            if not isinstance(instrument, kind):
                 raise ValueError(
                     f"metric {name!r} already registered as "
                     f"{type(instrument).__name__}"
@@ -239,7 +248,7 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._instruments)
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self) -> dict[str, object]:
         """Point-in-time view: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
 
         Counter values in successive snapshots are monotone non-decreasing
@@ -249,13 +258,13 @@ class MetricsRegistry:
             items = list(self._instruments.items())
         counters: dict[str, int] = {}
         gauges: dict[str, float] = {}
-        histograms: dict[str, dict[str, Any]] = {}
+        histograms: dict[str, dict[str, object]] = {}
         for name, instrument in items:
             if isinstance(instrument, Counter):
                 counters[name] = instrument.value
             elif isinstance(instrument, Gauge):
                 gauges[name] = instrument.value
-            else:
+            elif isinstance(instrument, Histogram):
                 histograms[name] = instrument.to_dict()
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 

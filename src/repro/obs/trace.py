@@ -24,7 +24,8 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from types import TracebackType
+from typing import Any, Callable, Iterator, Optional
 
 from repro.obs.metrics import enabled
 
@@ -96,7 +97,9 @@ def current_trace() -> Optional[TraceContext]:
 
 
 @contextmanager
-def use_trace(context: Optional[TraceContext]):
+def use_trace(
+    context: Optional[TraceContext],
+) -> Iterator[Optional[TraceContext]]:
     """Install ``context`` as this thread's current trace for the block."""
     previous = swap_trace(context)
     try:
@@ -129,7 +132,7 @@ class Span:
         started_at: float,
         tags: Optional[dict[str, Any]] = None,
         recorder: Optional["SpanRecorder"] = None,
-    ):
+    ) -> None:
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
@@ -159,7 +162,12 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if exc is not None:
             self.tags.setdefault("error", str(exc))
         self.finish()
@@ -194,7 +202,7 @@ class SpanRecorder:
         origin: str,
         capacity: int = 2048,
         clock: Callable[[], float] = time.time,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.origin = origin

@@ -158,6 +158,8 @@ class Network:
     def __init__(self, sim: Simulator, metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.metrics = metrics or MetricsRegistry("network")
+        self._m_packets = self.metrics.counter("net.packets")
+        self._m_bytes = self.metrics.counter("net.bytes")
         self.hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._next_hop: dict[tuple[str, str], str] = {}
@@ -276,8 +278,8 @@ class Network:
             self._rebuild_routes()
         if packet.destination not in self.hosts:
             raise KeyError(f"unknown destination: {packet.destination!r}")
-        self.metrics.counter("net.packets").add()
-        self.metrics.counter("net.bytes").add(packet.size)
+        self._m_packets.add()
+        self._m_bytes.add(packet.size)
         return self._forward(packet, packet.source)
 
     def _forward(self, packet: Packet, current: str) -> float:

@@ -310,7 +310,9 @@ def decode_frame(data: bytes) -> Frame:
     return frame
 
 
-def _decode_frame_at(data, offset: int) -> tuple[Optional[Frame], int]:
+def _decode_frame_at(
+    data: "bytes | bytearray", offset: int
+) -> tuple[Optional[Frame], int]:
     """Try to decode a frame starting at ``offset`` in ``data``.
 
     ``data`` may be bytes or bytearray; nothing before ``offset`` is touched
@@ -386,7 +388,7 @@ class FrameDecoder:
     one-byte TCP reads; consumed space is reclaimed lazily.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._buffer = bytearray()
         self._offset = 0  # bytes of self._buffer already decoded
         self._poisoned = False

@@ -304,7 +304,7 @@ class _Loop:
 
     def _on_wake(self, mask: int) -> None:
         try:
-            while self._wake_recv.recv(4096):
+            while self._wake_recv.recv(4096):  # gridlint: disable=GL101 -- wake pipe is non-blocking; drain exits on BlockingIOError
                 pass
         except (BlockingIOError, OSError):
             pass
@@ -549,7 +549,7 @@ class ReactorTcpChannel(Channel):
 
     def _on_readable(self) -> None:
         try:
-            chunk = self._sock.recv(_RECV_CHUNK)
+            chunk = self._sock.recv(_RECV_CHUNK)  # gridlint: disable=GL101 -- socket is non-blocking (setblocking(False) before registration)
         except (BlockingIOError, InterruptedError):
             return
         except OSError:

@@ -49,7 +49,7 @@ class GridWebServer:
     def start(self) -> None:
         if self._thread is not None:
             return
-        self._thread = threading.Thread(
+        self._thread = threading.Thread(  # gridlint: disable=GL102 -- stdlib HTTPServer.serve_forever needs a dedicated thread; stop() shuts it down
             target=self._server.serve_forever, daemon=True, name="grid-web"
         )
         self._thread.start()

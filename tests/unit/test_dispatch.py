@@ -148,6 +148,51 @@ class TestRegistry:
 
         pipeline.dispatch(_message(), "p", broken_sink)  # must not raise
 
+    def test_busy_inline_reply_retries_off_loop(self, pipeline, monkeypatch):
+        """A respond that fails on the event-loop thread is retried once
+        from the worker pool (regression: a TunnelBusy on an inline
+        reply was silently dropped, costing the requester its full
+        timeout — fatal for non-idempotent ops, which never retry)."""
+        from repro.core import dispatch as dispatch_mod
+
+        loop_ident = threading.get_ident()
+        monkeypatch.setattr(
+            dispatch_mod,
+            "on_reactor_thread",
+            lambda: threading.get_ident() == loop_ident,
+        )
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        delivered = _Sink()
+        attempts = []
+
+        def contended_sink(reply):
+            attempts.append(threading.get_ident())
+            if threading.get_ident() == loop_ident:
+                raise OSError("send refused: channel busy on event-loop thread")
+            delivered(reply)
+
+        pipeline.dispatch(_message(), "p", contended_sink)
+        assert delivered.arrived.wait(timeout=5.0)
+        assert len(attempts) == 2
+        assert attempts[1] != loop_ident  # the retry ran off-loop
+        assert delivered.replies[0].op == Op.PONG
+
+    def test_off_loop_respond_failure_is_not_requeued(self, pipeline, monkeypatch):
+        """Failures on worker threads (where sends already block) keep
+        the old swallow-and-drop semantics — no retry storm."""
+        from repro.core import dispatch as dispatch_mod
+
+        monkeypatch.setattr(dispatch_mod, "on_reactor_thread", lambda: False)
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        attempts = []
+
+        def broken_sink(reply):
+            attempts.append(reply)
+            raise OSError("peer vanished")
+
+        pipeline.dispatch(_message(), "p", broken_sink)  # must not raise
+        assert len(attempts) == 1
+
 
 # ---------------------------------------------------------------------------
 # Stage 2: guards (the authorize stage)
@@ -249,7 +294,6 @@ class TestClose:
         def slow(message, peer):
             started.set()
             release.wait(timeout=5.0)
-            return None
 
         pipeline.register(Op.PING, slow, blocking=True)
         pipeline.dispatch(_message(), "p", lambda r: None)

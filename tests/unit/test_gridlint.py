@@ -1,0 +1,546 @@
+"""gridlint's own test suite: every rule proven by fixtures.
+
+``FIXTURES`` maps each rule code to a *positive* tree (must trigger the
+rule), a *negative* tree (must stay clean), and a *suppressed* tree (the
+positive with a justified per-line suppression).  The meta-test at the
+bottom holds the catalog to that contract, so a new rule cannot land
+without documentation and both fixture directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tools.gridlint import (
+    ENGINE_DIAGNOSTICS,
+    Project,
+    all_rules,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_catalog,
+    run_rules,
+    write_baseline,
+)
+from tools.gridlint.__main__ import main as gridlint_main
+
+# ---------------------------------------------------------------------------
+# Fixture trees: {relative path: source text}
+# ---------------------------------------------------------------------------
+
+_GL101_POSITIVE = {
+    "repro/core/svc.py": """\
+import time
+
+class Service:
+    def start(self, loop):
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        self._tick()
+
+    def _tick(self):
+        time.sleep(0.1)
+"""
+}
+
+_GL101_NEGATIVE = {
+    "repro/core/svc.py": """\
+import time
+
+class Service:
+    def start(self, loop):
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        self._tick()
+
+    def _tick(self):
+        self.count = getattr(self, "count", 0) + 1
+
+    def off_loop_worker(self):
+        # Blocking is fine here: nothing registers this with the reactor.
+        time.sleep(0.1)
+"""
+}
+
+_GL101_SUPPRESSED = {
+    "repro/core/svc.py": """\
+import time
+
+class Service:
+    def start(self, loop):
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        time.sleep(0)  # gridlint: disable=GL101 -- sleep(0) is a deliberate yield in this fixture
+"""
+}
+
+_GL102_POSITIVE = {
+    "repro/core/work.py": """\
+import threading
+
+def spawn():
+    worker = threading.Thread(target=print)
+    worker.start()
+"""
+}
+
+# Same construct inside the transport layer: sanctioned.
+_GL102_NEGATIVE = {
+    "repro/transport/work.py": """\
+import threading
+
+def spawn():
+    worker = threading.Thread(target=print)
+    worker.start()
+"""
+}
+
+_GL102_SUPPRESSED = {
+    "repro/core/work.py": """\
+import threading
+
+def spawn():
+    worker = threading.Thread(target=print)  # gridlint: disable=GL102 -- fixture thread, joined immediately
+    worker.start()
+"""
+}
+
+_GL103_POSITIVE = {
+    "repro/core/pair.py": """\
+class Pair:
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+"""
+}
+
+_GL103_NEGATIVE = {
+    "repro/core/pair.py": """\
+class Pair:
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass
+"""
+}
+
+_GL103_SUPPRESSED = {
+    "repro/core/pair.py": """\
+class Pair:
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:  # gridlint: disable=GL103 -- fixture: never runs concurrently with forward
+                pass
+"""
+}
+
+_GL201_POSITIVE = {
+    "repro/core/protocol.py": """\
+class Op:
+    HELLO = 100
+    PING = 100
+
+IDEMPOTENT_OPS = frozenset({Op.HELLO, Op.MISSING})
+"""
+}
+
+_GL201_NEGATIVE = {
+    "repro/core/protocol.py": """\
+class Op:
+    HELLO = 100
+    PING = 200
+
+IDEMPOTENT_OPS = frozenset({Op.HELLO, Op.PING})
+"""
+}
+
+_GL201_SUPPRESSED = {
+    "repro/core/protocol.py": """\
+class Op:
+    HELLO = 100
+    PING = 100  # gridlint: disable=GL201 -- fixture alias kept for wire compatibility
+
+IDEMPOTENT_OPS = frozenset({Op.HELLO})
+"""
+}
+
+_GL301_POSITIVE = {
+    "repro/core/handler.py": """\
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def handle(self, message):
+        self.metrics.counter("handled").inc()
+"""
+}
+
+_GL301_NEGATIVE = {
+    "repro/core/handler.py": """\
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self._m_handled = metrics.counter("handled")
+
+    def handle(self, message):
+        self._m_handled.inc()
+"""
+}
+
+_GL301_SUPPRESSED = {
+    "repro/core/handler.py": """\
+class Handler:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def handle(self, message):
+        self.metrics.counter("handled").inc()  # gridlint: disable=GL301 -- fixture: cold path, called once at shutdown
+"""
+}
+
+_GL401_POSITIVE = {
+    "repro/simulation/jitter.py": """\
+import random
+import time
+
+def jitter():
+    return random.random() + time.time()
+"""
+}
+
+_GL401_NEGATIVE = {
+    "repro/simulation/jitter.py": """\
+import random
+
+_RNG = random.Random(7)
+
+def jitter(clock):
+    return _RNG.random() + clock.now()
+"""
+}
+
+_GL401_SUPPRESSED = {
+    "repro/simulation/jitter.py": """\
+import time
+
+def wall_clock_label():
+    return time.time()  # gridlint: disable=GL401 -- fixture: label only, never feeds results
+"""
+}
+
+FIXTURES: dict[str, dict[str, dict[str, str]]] = {
+    "GL101": {
+        "positive": _GL101_POSITIVE,
+        "negative": _GL101_NEGATIVE,
+        "suppressed": _GL101_SUPPRESSED,
+    },
+    "GL102": {
+        "positive": _GL102_POSITIVE,
+        "negative": _GL102_NEGATIVE,
+        "suppressed": _GL102_SUPPRESSED,
+    },
+    "GL103": {
+        "positive": _GL103_POSITIVE,
+        "negative": _GL103_NEGATIVE,
+        "suppressed": _GL103_SUPPRESSED,
+    },
+    "GL201": {
+        "positive": _GL201_POSITIVE,
+        "negative": _GL201_NEGATIVE,
+        "suppressed": _GL201_SUPPRESSED,
+    },
+    "GL301": {
+        "positive": _GL301_POSITIVE,
+        "negative": _GL301_NEGATIVE,
+        "suppressed": _GL301_SUPPRESSED,
+    },
+    "GL401": {
+        "positive": _GL401_POSITIVE,
+        "negative": _GL401_NEGATIVE,
+        "suppressed": _GL401_SUPPRESSED,
+    },
+}
+
+
+def lint(tmp_path, files: dict[str, str], **kwargs):
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    project = Project.load([tmp_path], root=tmp_path)
+    return run_rules(project, **kwargs)
+
+
+def codes_of(result) -> list[str]:
+    return [finding.code for finding in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# Per-rule fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_rule_fires_on_positive_fixture(tmp_path, code):
+    result = lint(tmp_path, FIXTURES[code]["positive"], select={code})
+    assert code in codes_of(result), render_text(result)
+    assert result.exit_code == 1
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_rule_stays_quiet_on_negative_fixture(tmp_path, code):
+    result = lint(tmp_path, FIXTURES[code]["negative"], select={code})
+    assert codes_of(result) == [], render_text(result)
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_justified_suppression_silences_rule(tmp_path, code):
+    result = lint(tmp_path, FIXTURES[code]["suppressed"], select={code})
+    assert codes_of(result) == [], render_text(result)
+    assert len(result.suppressed) >= 1
+    assert all(finding.code == code for finding in result.suppressed)
+
+
+# ---------------------------------------------------------------------------
+# Rule-specific sharp edges
+# ---------------------------------------------------------------------------
+
+
+def test_gl101_blocking_dispatch_handlers_are_exempt(tmp_path):
+    """register(..., blocking=True) hands the handler to a worker pool."""
+    files = {
+        "repro/core/svc.py": """\
+import time
+
+class Service:
+    def wire(self, pipe):
+        pipe.register(Op.SLOW, self._slow, blocking=True)
+
+    def _slow(self, message):
+        time.sleep(0.5)
+"""
+    }
+    result = lint(tmp_path, files, select={"GL101"})
+    assert codes_of(result) == [], render_text(result)
+
+
+def test_gl101_reaches_through_lambdas(tmp_path):
+    files = {
+        "repro/core/svc.py": """\
+import time
+
+class Service:
+    def start(self, loop):
+        loop.call_later(0.1, lambda: self._tick())
+
+    def _tick(self):
+        time.sleep(1.0)
+"""
+    }
+    result = lint(tmp_path, files, select={"GL101"})
+    assert "GL101" in codes_of(result), render_text(result)
+
+
+def test_gl201_register_of_undeclared_op(tmp_path):
+    files = {
+        "repro/core/protocol.py": """\
+class Op:
+    HELLO = 100
+
+IDEMPOTENT_OPS = frozenset({Op.HELLO})
+""",
+        "repro/core/wiring.py": """\
+def wire(pipe, handler):
+    pipe.register(Op.BOGUS, handler)
+    pipe.register(Op.HELLO, handler)
+    pipe.register(Op.HELLO, handler)
+""",
+    }
+    result = lint(tmp_path, files, select={"GL201"})
+    messages = [finding.message for finding in result.findings]
+    assert any("Op.BOGUS" in message for message in messages), messages
+    assert any("more than once" in message for message in messages), messages
+
+
+def test_gl103_reports_interprocedural_cycles(tmp_path):
+    files = {
+        "repro/core/pair.py": """\
+class Pair:
+    def forward(self):
+        with self._a:
+            self.helper()
+
+    def helper(self):
+        with self._b:
+            pass
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                pass
+"""
+    }
+    result = lint(tmp_path, files, select={"GL103"})
+    assert "GL103" in codes_of(result), render_text(result)
+
+
+# ---------------------------------------------------------------------------
+# Engine diagnostics: the suppression contract
+# ---------------------------------------------------------------------------
+
+
+def test_unjustified_suppression_does_not_suppress(tmp_path):
+    files = {
+        "repro/core/handler.py": (
+            "class Handler:\n"
+            "    def handle(self, message):\n"
+            "        self.metrics.counter('x').inc()  # gridlint: disable=GL301\n"
+        )
+    }
+    result = lint(tmp_path, files)
+    codes = codes_of(result)
+    assert "GL301" in codes  # the finding survives
+    assert "GL001" in codes  # and the bad suppression is itself reported
+
+
+def test_unknown_code_in_suppression_is_gl002(tmp_path):
+    files = {
+        "repro/core/empty.py": "x = 1  # gridlint: disable=GL999 -- no such rule\n"
+    }
+    result = lint(tmp_path, files)
+    assert codes_of(result) == ["GL002"]
+
+
+def test_stale_suppression_is_gl003(tmp_path):
+    files = {
+        "repro/core/empty.py": "x = 1  # gridlint: disable=GL102 -- nothing here spawns threads\n"
+    }
+    result = lint(tmp_path, files)
+    assert codes_of(result) == ["GL003"]
+
+
+def test_multi_code_suppression(tmp_path):
+    files = {
+        "repro/core/work.py": """\
+import threading
+
+def spawn(metrics):
+    t = threading.Thread(target=metrics.counter("spawns").inc)  # gridlint: disable=GL102,GL301 -- fixture: both rules hit this line
+    t.start()
+"""
+    }
+    result = lint(tmp_path, files, select={"GL102", "GL301"})
+    assert codes_of(result) == [], render_text(result)
+    assert {finding.code for finding in result.suppressed} == {"GL102", "GL301"}
+
+
+# ---------------------------------------------------------------------------
+# Baselines and reporters
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    result = lint(tmp_path, FIXTURES["GL102"]["positive"])
+    assert result.exit_code == 1
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, result)
+    baseline = load_baseline(baseline_file)
+    assert baseline == {finding.key for finding in result.findings}
+
+    rebaselined = lint(tmp_path, FIXTURES["GL102"]["positive"], baseline=baseline)
+    assert rebaselined.exit_code == 0
+    assert len(rebaselined.baselined) == len(result.findings)
+
+
+def test_json_reporter_shape(tmp_path):
+    result = lint(tmp_path, FIXTURES["GL301"]["positive"])
+    payload = json.loads(render_json(result))
+    assert payload["version"] == 1
+    assert payload["checked_files"] == 1
+    assert payload["rules"] == [r.code for r in all_rules()]
+    (finding,) = payload["findings"]
+    assert finding["code"] == "GL301"
+    assert finding["path"].endswith("handler.py")
+    assert isinstance(finding["line"], int)
+
+
+def test_cli_end_to_end(tmp_path, capsys):
+    target = tmp_path / "repro" / "core" / "work.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_GL102_POSITIVE["repro/core/work.py"], encoding="utf-8")
+
+    exit_code = gridlint_main([str(tmp_path), "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "GL102" in out
+
+    exit_code = gridlint_main(
+        [str(tmp_path), "--root", str(tmp_path), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"], payload
+
+    exit_code = gridlint_main([str(tmp_path / "missing")])
+    assert exit_code == 2
+    assert "not found" in capsys.readouterr().err
+
+    exit_code = gridlint_main([str(tmp_path), "--select", "GL777"])
+    assert exit_code == 2
+
+
+def test_cli_list_rules(capsys):
+    assert gridlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in list(FIXTURES) + list(ENGINE_DIAGNOSTICS):
+        assert code in out
+
+
+# ---------------------------------------------------------------------------
+# Meta-test: catalog and fixture coverage are complete
+# ---------------------------------------------------------------------------
+
+
+def test_every_rule_has_docs_and_fixtures():
+    rules = all_rules()
+    assert len(rules) >= 6, "the tree must ship at least six active rules"
+    catalog = rule_catalog()
+    for instance in rules:
+        entry = catalog[instance.code]
+        assert entry["title"], f"{instance.code} has no title"
+        assert entry["doc"], f"{instance.code} has no documentation"
+        fixture = FIXTURES.get(instance.code)
+        assert fixture is not None, f"{instance.code} has no fixtures"
+        assert fixture.get("positive"), f"{instance.code} has no positive fixture"
+        assert fixture.get("negative"), f"{instance.code} has no negative fixture"
+        assert fixture.get("suppressed"), f"{instance.code} has no suppression fixture"
+    for code in ENGINE_DIAGNOSTICS:
+        assert catalog[code]["title"], f"{code} missing from catalog"
+
+
+def test_repo_tree_is_clean():
+    """The shipped tree lints clean — the CI gate in test form."""
+    project = Project.load(["src/repro"])
+    result = run_rules(project)
+    assert result.exit_code == 0, "\n" + render_text(result)

@@ -1,0 +1,183 @@
+"""LockOrderWatchdog: deterministic cycle detection tests.
+
+Every test uses a *private* watchdog instance over raw (unwatched)
+locks, so deliberately-seeded cycles never pollute the global watchdog
+installed by the root conftest — which must stay clean for the whole
+suite (that is the acceptance criterion it enforces).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import lockwatch
+from repro.obs.lockwatch import LockOrderError, LockOrderWatchdog
+
+
+@pytest.fixture
+def watchdog():
+    return LockOrderWatchdog()
+
+
+def wrapped(watchdog, label):
+    return watchdog.wrap(lockwatch.raw_lock(), site=label)
+
+
+def test_opposite_orders_are_a_violation(watchdog):
+    a = wrapped(watchdog, "a")
+    b = wrapped(watchdog, "b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    assert len(watchdog.violations) == 1
+    assert "cycle" in watchdog.violations[0]
+    assert "(a)" in watchdog.violations[0] and "(b)" in watchdog.violations[0]
+    with pytest.raises(LockOrderError):
+        watchdog.assert_clean()
+
+
+def test_consistent_order_is_clean(watchdog):
+    a = wrapped(watchdog, "a")
+    b = wrapped(watchdog, "b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    watchdog.assert_clean()
+
+
+def test_three_lock_cycle_detected(watchdog):
+    a, b, c = (wrapped(watchdog, name) for name in "abc")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    assert len(watchdog.violations) == 1
+    assert watchdog.violations[0].count("->") == 3
+
+
+def test_cycle_found_across_threads(watchdog):
+    """Opposite orders in different threads, serialised so no real
+    deadlock can occur — the graph still records both edges."""
+    a = wrapped(watchdog, "a")
+    b = wrapped(watchdog, "b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    t1 = threading.Thread(target=forward)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=backward)
+    t2.start()
+    t2.join()
+    assert len(watchdog.violations) == 1
+
+
+def test_out_of_order_release_keeps_tracking_straight(watchdog):
+    """Hand-over-hand: acquire a,b; release a; acquire c while holding b.
+
+    The recorded edges must be {a -> b, b -> c} — if release tracking
+    were positional rather than by serial, the c edge would hang off the
+    wrong lock and the closing check below would misfire.
+    """
+    a = wrapped(watchdog, "a")
+    b = wrapped(watchdog, "b")
+    c = wrapped(watchdog, "c")
+    a.acquire()
+    b.acquire()
+    a.release()
+    c.acquire()  # edge must be b -> c (a is no longer held)
+    c.release()
+    b.release()
+    with a:
+        with c:  # a -> c: consistent with {a->b, b->c}
+            pass
+    watchdog.assert_clean()
+    with c:
+        with b:  # c -> b closes b -> c -> b
+            pass
+    assert len(watchdog.violations) == 1
+
+
+def test_reentrant_rlock_is_not_an_edge(watchdog):
+    r = watchdog.wrap(lockwatch.raw_rlock(), site="r")
+    with r:
+        with r:
+            pass
+    watchdog.assert_clean()
+
+
+def test_nonblocking_failed_acquire_records_nothing(watchdog):
+    a = wrapped(watchdog, "a")
+    b = wrapped(watchdog, "b")
+    with a:
+        pass
+    a.acquire()
+    try:
+        # A second acquire attempt fails: must not push a held entry.
+        assert not a.acquire(blocking=False)
+        with b:
+            pass
+    finally:
+        a.release()
+    # Only a -> b was recorded; no self-edge, no phantom entries.
+    watchdog.assert_clean()
+
+
+def test_wrapped_lock_supports_condition(watchdog):
+    lock = wrapped(watchdog, "cond-lock")
+    cond = threading.Condition(lock)
+    with cond:
+        cond.notify_all()
+        assert not cond.wait(timeout=0.01)
+    watchdog.assert_clean()
+
+
+def test_global_install_is_idempotent_and_active():
+    """The root conftest installed the watchdog for the whole suite
+    (REPRO_LOCKWATCH=0 disables it); install() must be idempotent."""
+    import os
+
+    if os.environ.get("REPRO_LOCKWATCH", "1") == "0":
+        pytest.skip("watchdog disabled via REPRO_LOCKWATCH=0")
+    active = lockwatch.active()
+    assert active is not None
+    assert lockwatch.install() is active
+    # Locks created now are watched and fully functional.
+    lock = threading.Lock()
+    assert hasattr(lock, "_serial")
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+
+
+def test_violation_report_names_creation_sites(watchdog):
+    a = watchdog.wrap(lockwatch.raw_lock(), site="module.py:10")
+    b = watchdog.wrap(lockwatch.raw_lock(), site="module.py:20")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    (violation,) = watchdog.violations
+    assert "module.py:10" in violation
+    assert "module.py:20" in violation

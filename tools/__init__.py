@@ -1,0 +1,1 @@
+"""Project-internal developer tooling (not shipped with the library)."""

@@ -1,0 +1,48 @@
+"""gridlint — project-specific static analysis for the proxy middleware.
+
+Run it as a module::
+
+    python -m tools.gridlint src/repro
+    python -m tools.gridlint src/repro --format=json
+
+See :mod:`tools.gridlint.engine` for the engine/suppression contract and
+:mod:`tools.gridlint.rules` for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from tools.gridlint.engine import (
+    ENGINE_DIAGNOSTICS,
+    Finding,
+    LintResult,
+    Project,
+    Rule,
+    Source,
+    Suppression,
+    all_rules,
+    load_baseline,
+    render_json,
+    render_text,
+    rule,
+    rule_catalog,
+    run_rules,
+    write_baseline,
+)
+
+__all__ = [
+    "ENGINE_DIAGNOSTICS",
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "Source",
+    "Suppression",
+    "all_rules",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule",
+    "rule_catalog",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m tools.gridlint [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from tools.gridlint.engine import (
+    Project,
+    all_rules,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_catalog,
+    run_rules,
+    write_baseline,
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.gridlint",
+        description="Project-specific invariant checks for the grid middleware.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline of known findings to hide",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="root for relative paths in reports (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, entry in sorted(rule_catalog().items()):
+            print(f"{code}: {entry['title']}")
+            doc = entry["doc"]
+            if doc and doc != entry["title"]:
+                for line in doc.splitlines():
+                    print(f"    {line.strip()}" if line.strip() else "")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"gridlint: path(s) not found: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        known = {r.code for r in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(
+                f"gridlint: unknown rule code(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    project = Project.load(paths, root=args.root)
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    result = run_rules(project, baseline=baseline, select=select)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, result)
+        print(
+            f"gridlint: wrote {len(result.findings) + len(result.baselined)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,399 @@
+"""gridlint core: sources, suppressions, findings, baselines, reporters.
+
+The middleware's correctness rests on conventions no general-purpose
+linter knows about — "never block on a reactor loop thread", "hot paths
+resolve their instruments once", "every op code is classified for
+idempotency".  gridlint encodes those conventions as AST rules with
+stable codes so CI can enforce them mechanically:
+
+* ``GL1xx`` — concurrency invariants (reactor, threads, locks)
+* ``GL2xx`` — control-protocol invariants (op registry, idempotency)
+* ``GL3xx`` — observability invariants (instrument lifecycle)
+* ``GL4xx`` — determinism invariants (seeded randomness, no wall clock)
+* ``GL0xx`` — engine diagnostics (malformed suppressions)
+
+Suppression contract: a finding may be silenced per line with::
+
+    do_something()  # gridlint: disable=GL101 -- why this is safe
+
+The justification after ``--`` is **required**.  A suppression without
+one does not suppress anything and is itself reported (GL001) — the
+point of the comment is to leave the reasoning in the code, not to make
+the linter shut up.  Unknown codes in a disable list are GL002, and a
+suppression that matches no finding is GL003 (stale suppressions rot
+into false confidence).
+
+Baselines: ``--baseline FILE`` hides findings recorded in FILE so the
+linter can land green on a tree with known debt; ``--write-baseline``
+records the current findings.  The shipped tree carries **no** baseline
+entries — every pre-existing violation was fixed or given a justified
+suppression instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "ENGINE_DIAGNOSTICS",
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "Source",
+    "Suppression",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_rules",
+    "write_baseline",
+]
+
+#: Engine-level diagnostic codes (not AST rules, but reported the same
+#: way so CI and editors treat them uniformly).
+ENGINE_DIAGNOSTICS: dict[str, str] = {
+    "GL001": "suppression comment has no justification (`-- <reason>` required)",
+    "GL002": "suppression names an unknown rule code",
+    "GL003": "suppression matched no finding (stale; delete it)",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*gridlint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--\s*(\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated edits to other files."""
+        return f"{self.code}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One ``# gridlint: disable=...`` comment on one physical line."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    used: bool = False
+
+
+class Source:
+    """One parsed Python file plus its suppression table."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+        self.suppressions: list[Suppression] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            self.suppressions.append(
+                Suppression(
+                    line=lineno,
+                    codes=codes,
+                    justification=(match.group(2) or "").strip(),
+                )
+            )
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> Optional["Source"]:
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError, ValueError):
+            return None
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        return cls(rel, text, tree)
+
+    def suppression_at(self, line: int, code: str) -> Optional[Suppression]:
+        for suppression in self.suppressions:
+            if suppression.line == line and code in suppression.codes:
+                return suppression
+        return None
+
+
+class Project:
+    """Every source under the scanned paths; what rules operate on."""
+
+    def __init__(self, sources: list[Source]) -> None:
+        self.sources = sources
+        self._by_path = {source.path: source for source in sources}
+
+    @classmethod
+    def load(cls, paths: Iterable[Path], root: Optional[Path] = None) -> "Project":
+        root = (root or Path.cwd()).resolve()
+        files: list[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        sources = []
+        seen: set[str] = set()
+        for file in files:
+            source = Source.parse(file, root)
+            if source is not None and source.path not in seen:
+                seen.add(source.path)
+                sources.append(source)
+        return cls(sources)
+
+    def source(self, path: str) -> Optional[Source]:
+        return self._by_path.get(path)
+
+    def find_sources(self, suffix: str) -> list[Source]:
+        """Sources whose (slash-normalised) path ends with ``suffix``."""
+        return [
+            source
+            for source in self.sources
+            if source.path.replace("\\", "/").endswith(suffix)
+        ]
+
+
+class Rule:
+    """One named invariant check.  Subclasses set ``code``/``title`` and
+    implement :meth:`check` yielding findings over the whole project
+    (rules may be cross-file: call graphs, registries)."""
+
+    code: str = ""
+    title: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @property
+    def doc(self) -> str:
+        return (self.__doc__ or "").strip()
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a :class:`Rule` by its code."""
+    instance_code = cls.code
+    if not instance_code or instance_code in _RULES:
+        raise ValueError(f"rule code missing or duplicated: {instance_code!r}")
+    if not (cls.__doc__ or "").strip():
+        raise ValueError(f"rule {instance_code} must document its invariant")
+    _RULES[instance_code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    # Import for side effects: the @rule decorators populate the registry.
+    from tools.gridlint import rules as _rules  # noqa: F401
+
+    return [factory() for _, factory in sorted(_RULES.items())]
+
+
+def rule_catalog() -> dict[str, dict[str, str]]:
+    """code -> {title, doc} for every registered rule plus diagnostics."""
+    catalog = {
+        code: {"title": title, "doc": title}
+        for code, title in ENGINE_DIAGNOSTICS.items()
+    }
+    for instance in all_rules():
+        catalog[instance.code] = {"title": instance.title, "doc": instance.doc}
+    return catalog
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, pre-rendering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def run_rules(
+    project: Project,
+    rules: Optional[list[Rule]] = None,
+    baseline: Optional[set[str]] = None,
+    select: Optional[set[str]] = None,
+) -> LintResult:
+    """Run every rule, then apply suppressions and the baseline.
+
+    Order matters: suppression is applied to raw rule output first (a
+    suppressed finding never needs baselining), then the baseline hides
+    what remains, then the engine diagnostics are computed — they can
+    not be suppressed or baselined (a lint about the lint must always
+    surface).
+    """
+    rules = rules if rules is not None else all_rules()
+    if select:
+        rules = [r for r in rules if r.code in select]
+    result = LintResult(
+        checked_files=len(project.sources),
+        rules_run=[r.code for r in rules],
+    )
+    raw: list[Finding] = []
+    for instance in rules:
+        raw.extend(instance.check(project))
+    known_codes = set(ENGINE_DIAGNOSTICS) | set(_RULES)
+    kept: list[Finding] = []
+    for finding in raw:
+        source = project.source(finding.path)
+        suppression = (
+            source.suppression_at(finding.line, finding.code) if source else None
+        )
+        if suppression is not None and suppression.justification:
+            suppression.used = True
+            result.suppressed.append(finding)
+        else:
+            kept.append(finding)
+    baseline = baseline or set()
+    for finding in kept:
+        if finding.key in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    # Engine diagnostics: malformed, unknown, and stale suppressions.
+    for source in project.sources:
+        for suppression in source.suppressions:
+            if not suppression.justification:
+                result.findings.append(
+                    Finding(
+                        code="GL001",
+                        path=source.path,
+                        line=suppression.line,
+                        message=(
+                            "suppression has no justification; write "
+                            "`# gridlint: disable="
+                            + ",".join(suppression.codes)
+                            + " -- <why this is safe>`"
+                        ),
+                    )
+                )
+            for code in suppression.codes:
+                if code not in known_codes:
+                    result.findings.append(
+                        Finding(
+                            code="GL002",
+                            path=source.path,
+                            line=suppression.line,
+                            message=f"unknown rule code {code!r} in suppression",
+                        )
+                    )
+            if (
+                suppression.justification
+                and not suppression.used
+                and all(code in known_codes for code in suppression.codes)
+                and (select is None or any(c in select for c in suppression.codes))
+            ):
+                result.findings.append(
+                    Finding(
+                        code="GL003",
+                        path=source.path,
+                        line=suppression.line,
+                        message=(
+                            "suppression matched no finding "
+                            f"({', '.join(suppression.codes)}); delete it"
+                        ),
+                    )
+                )
+    result.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> set[str]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    if isinstance(data, dict):
+        entries = data.get("findings", [])
+    else:
+        entries = data
+    return {entry for entry in entries if isinstance(entry, str)}
+
+
+def write_baseline(path: Path, result: LintResult) -> None:
+    keys = sorted(
+        {finding.key for finding in result.findings}
+        | {finding.key for finding in result.baselined}
+    )
+    path.write_text(
+        json.dumps({"version": 1, "findings": keys}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    lines.append(
+        f"gridlint: {len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{result.checked_files} file(s), "
+        f"rules: {', '.join(result.rules_run)}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    def encode(finding: Finding) -> dict[str, object]:
+        return {
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [encode(f) for f in result.findings],
+            "suppressed": [encode(f) for f in result.suppressed],
+            "baselined": [encode(f) for f in result.baselined],
+            "checked_files": result.checked_files,
+            "rules": result.rules_run,
+        },
+        indent=2,
+    )
