@@ -7,7 +7,7 @@ this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
 
 ``--quick`` runs a smoke pass: experiments that support it (currently
-``fastpath``, ``concurrency`` and ``tests``) shrink their workloads so
+``fastpath``, ``concurrency``, ``shard`` and ``tests``) shrink their workloads so
 the whole sweep finishes in seconds — useful for CI and for checking
 nothing is broken before a full measurement run.
 
@@ -30,9 +30,13 @@ import subprocess
 import sys
 import time
 
-from benchmarks.common import format_table
-
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    # `python benchmarks/run_all.py` puts benchmarks/ (not the repo
+    # root) on sys.path; the package imports below need the root.
+    sys.path.insert(0, _ROOT)
+
+from benchmarks.common import format_table
 
 
 def run_test_profile(quick: bool) -> list[dict]:
@@ -126,6 +130,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_concurrency as concurrency
     import benchmarks.bench_fastpath as fastpath
     import benchmarks.bench_obs as obs
+    import benchmarks.bench_shard as shard
 
     quick = "--quick" in argv
     selected = [a for a in argv if a != "--quick"]
@@ -168,6 +173,10 @@ def main(argv: list[str]) -> int:
         "obs": lambda: [
             ("Obs: instrumentation overhead (gate <5% on tunnel_echo)",
              obs.run_tables(quick=quick)),
+        ],
+        "shard": lambda: [
+            ("Shard: aggregate frames/s vs worker count",
+             shard.run_tables(quick=quick)),
         ],
         "gridlint": lambda: [
             ("Gridlint: invariant checks over src/repro", run_gridlint()),

@@ -202,6 +202,60 @@ class DispatchPipeline:
         else:
             self._run_handler(handler, message, peer, respond)
 
+    def dispatch_batch(
+        self,
+        messages: list,
+        peer: str,
+        respond: Respond,
+        respond_many: Optional[Callable[[list], None]] = None,
+    ) -> None:
+        """Dispatch a drained backlog of requests in one pass.
+
+        Semantics are identical to calling :meth:`dispatch` per message;
+        the optimisation is reply **group commit**: replies produced
+        inline (non-blocking handlers, guard vetoes) are collected and
+        flushed through ``respond_many`` as one burst — one vectored
+        socket write for the whole backlog.  Blocking handlers finish on
+        the worker pool after this call returns and respond singly, as
+        they always did.  If the burst flush fails, every reply falls
+        back to the per-reply path (which retries once off-loop), so no
+        reply is lost that ``dispatch`` would have delivered.
+        """
+        if respond_many is None or len(messages) <= 1:
+            for message in messages:
+                self.dispatch(message, peer, respond)
+            return
+        window_open = True
+        window_lock = threading.Lock()
+        batch: list = []
+
+        def sink(reply: ControlMessage) -> None:
+            # Inline replies land in the batch; late replies (a blocking
+            # handler completing after the flush) go out singly.  The
+            # lock closes the window atomically — a pool thread racing
+            # the flush either makes the batch or responds itself, never
+            # falls between.
+            with window_lock:
+                if window_open:
+                    batch.append(reply)
+                    return
+            respond(reply)
+
+        for message in messages:
+            self.dispatch(message, peer, sink)
+        with window_lock:
+            window_open = False
+        if not batch:
+            return
+        if len(batch) == 1:
+            self._respond(batch[0], respond)
+            return
+        try:
+            respond_many(batch)
+        except Exception:
+            for reply in batch:
+                self._respond(reply, respond)
+
     def _run_handler(
         self, handler: Handler, message: ControlMessage, peer: str, respond: Respond
     ) -> None:

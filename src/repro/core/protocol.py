@@ -56,6 +56,7 @@ class Op:
     RESOURCE_FOUND = 203
     OBS_DUMP = 210  # "send me your metrics and trace spans"
     OBS_DATA = 211
+    SHARD_STATS = 212  # parent → shard worker: "send me your registry"
     # -- authentication / permissions (layer 2)
     AUTH_CHECK = 300  # validate a user credential at the destination
     AUTH_OK = 301
@@ -98,7 +99,7 @@ Op._names = {
 #: must treat their timeouts as indeterminate rather than retry blindly.
 IDEMPOTENT_OPS = frozenset(
     {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK,
-     Op.OBS_DUMP}
+     Op.OBS_DUMP, Op.SHARD_STATS}
 )
 
 _extension_codes = itertools.count(1000)

@@ -166,6 +166,9 @@ class ProxyServer:
         self.extension_handlers = self.pipeline.overrides
         #: optional usage ledger (reward mechanisms); set by the Grid
         self.ledger = None
+        #: optional shard fleet fronting this proxy (REPRO_SHARDS); its
+        #: per-worker registries fold into the OBS_DUMP view on demand
+        self._shard_manager = None
         #: retry policy for idempotent control requests (None disables)
         self.retry_policy = retry_policy or DEFAULT_REQUEST_RETRY
         #: peer health, fed by inbound traffic and tunnel-close events;
@@ -289,6 +292,9 @@ class ProxyServer:
             tunnel.close()
             return
         tunnel.on_frame(FrameKind.CONTROL, lambda f: self._on_control(tunnel, f))
+        tunnel.on_frame_batch(
+            FrameKind.CONTROL, lambda fs: self._on_control_batch(tunnel, fs)
+        )
         tunnel.on_frame(FrameKind.MPI, lambda f: self._on_mpi(tunnel, f))
         tunnel.on_frame(FrameKind.HEARTBEAT, lambda f: self._on_heartbeat(tunnel, f))
         tunnel.on_close(self._on_tunnel_close)
@@ -367,6 +373,14 @@ class ProxyServer:
     def _send_control(self, tunnel: Tunnel, message: ControlMessage) -> None:
         message.sender = self.name
         tunnel.send(message.to_frame())
+
+    def _send_control_many(
+        self, tunnel: Tunnel, messages: list
+    ) -> None:
+        """Group-commit a burst of replies: one vectored write for all."""
+        for message in messages:
+            message.sender = self.name
+        tunnel.send_many([message.to_frame() for message in messages])
 
     def request(
         self,
@@ -502,6 +516,38 @@ class ProxyServer:
             respond=lambda reply: self._send_control(tunnel, reply),
         )
 
+    def _on_control_batch(self, tunnel: Tunnel, frames: list) -> None:
+        """One drained backlog of control frames → one dispatch pass.
+
+        Liveness bookkeeping is amortised over the burst, replies and
+        fulfilments happen in arrival order, and every inline reply goes
+        back through one ``send_many`` group commit instead of a syscall
+        per message.
+        """
+        requests: list = []
+        fulfilled = False
+        for frame in frames:
+            message = self.pipeline.decode(frame)
+            if message is None:
+                continue  # corrupt control traffic is discarded
+            if message.is_reply():
+                self._tracker.fulfil(message)
+                fulfilled = True
+            else:
+                requests.append(message)
+        if not requests and not fulfilled:
+            return
+        self.last_heard[tunnel.peer_name] = self.clock()
+        self.health.heard_from(tunnel.peer_name)
+        if not requests:
+            return
+        self.pipeline.dispatch_batch(
+            requests,
+            tunnel.peer_name,
+            respond=lambda reply: self._send_control(tunnel, reply),
+            respond_many=lambda replies: self._send_control_many(tunnel, replies),
+        )
+
     def _register_handlers(self) -> None:
         """Wire the op registry (built-ins) and the authorize guard.
 
@@ -601,7 +647,25 @@ class ProxyServer:
             for peer_name in tunnels
             if self.health.is_watching(peer_name)
         }
+        if self._shard_manager is not None:
+            # One folded snapshot for the whole worker fleet: per-worker
+            # registries are collected over SHARD_STATS and summed here,
+            # so a sharded proxy still answers OBS_DUMP with one view.
+            try:
+                dump["shards"] = self._shard_manager.folded_snapshot()
+            except Exception as exc:
+                dump["shards"] = {"error": str(exc)}
         return dump
+
+    def attach_shards(self, manager) -> None:
+        """Adopt a :class:`~repro.core.shardmgr.ShardManager` fleet.
+
+        The fleet serves the data plane on its own port; this proxy's
+        role is observability and lifecycle — ``OBS_DUMP`` folds the
+        workers' registries into the dump, and :meth:`shutdown` stops
+        the fleet with the proxy.
+        """
+        self._shard_manager = manager
 
     # ------------------------------------------------------------------
     # Layer 2: authentication and permissions
@@ -979,6 +1043,9 @@ class ProxyServer:
             tunnel.on_frame(
                 FrameKind.CONTROL, lambda f: self._on_control(tunnel, f)
             )
+            tunnel.on_frame_batch(
+                FrameKind.CONTROL, lambda fs: self._on_control_batch(tunnel, fs)
+            )
             tunnel.start(self.io)
             result["tunnel"] = tunnel
 
@@ -1080,6 +1147,8 @@ class ProxyServer:
             return
         self._closing.set()
         self.stop_heartbeats()
+        if self._shard_manager is not None:
+            self._shard_manager.stop()
         if self._listener is not None:
             self._listener.close()
         if self._accept_thread is not None:

@@ -69,6 +69,7 @@ class Tunnel:
         self.local_name = local_name
         self.peer_name = secure.peer.subject
         self._handlers: dict[FrameKind, Callable[[Frame], None]] = {}
+        self._batch_handlers: dict[FrameKind, Callable[[list], None]] = {}
         self._close_callbacks: list[Callable[["Tunnel"], None]] = []
         self._receiver: Optional[threading.Thread] = None
         self._registration = None  # reactor membership, when event-driven
@@ -211,6 +212,17 @@ class Tunnel:
         """Register the handler for one frame kind (replacing any previous)."""
         self._handlers[kind] = handler
 
+    def on_frame_batch(
+        self, kind: FrameKind, handler: Callable[[list], None]
+    ) -> None:
+        """Register a bulk handler: a drained backlog of ``kind`` frames
+        arrives as one list (reactor mode only — the threaded receive
+        loop always delivers singly through :meth:`on_frame`).  Kinds
+        without a batch handler fall back to per-frame delivery, so
+        registering one is purely an optimisation, never a semantic
+        change."""
+        self._batch_handlers[kind] = handler
+
     def on_close(self, callback: Callable[["Tunnel"], None]) -> None:
         self._close_callbacks.append(callback)
 
@@ -230,6 +242,7 @@ class Tunnel:
             self._registration = get_global_reactor().add_channel(
                 self._secure,
                 on_frame=self._deliver,
+                on_batch=self._deliver_batch,
                 on_close=lambda channel, exc: self._finalize(),
             )
             return
@@ -247,6 +260,27 @@ class Tunnel:
             handler(frame)
         # Unhandled kinds are dropped: "discarding unauthorized
         # traffic" is the security layer's default posture.
+
+    def _deliver_batch(self, frames: list) -> None:
+        """Demultiplex a drained backlog, preserving arrival order.
+
+        Consecutive frames of one kind go to that kind's batch handler
+        as a single list; runs are never reordered across kinds, so the
+        per-frame ordering contract is unchanged.
+        """
+        i, n = 0, len(frames)
+        while i < n:
+            kind = frames[i].kind
+            j = i + 1
+            while j < n and frames[j].kind == kind:
+                j += 1
+            handler = self._batch_handlers.get(kind)
+            if handler is not None:
+                handler(frames[i:j] if (i, j) != (0, n) else frames)
+            else:
+                for k in range(i, j):
+                    self._deliver(frames[k])
+            i = j
 
     def _receive_loop(self) -> None:
         try:

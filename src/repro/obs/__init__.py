@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     enabled,
+    fold_snapshots,
     get_global_registry,
     reset_global_registry,
     set_enabled,
@@ -50,6 +51,7 @@ __all__ = [
     "TraceContext",
     "current_trace",
     "enabled",
+    "fold_snapshots",
     "get_global_registry",
     "mint_trace",
     "reset_global_registry",

@@ -148,10 +148,13 @@ def _encode_into(value: Any, out: bytearray, depth: int) -> None:
         raise CodecError(f"cannot encode type {type(value).__name__}")
 
 
-def decode_value(data: bytes) -> Any:
-    """Decode bytes produced by :func:`encode_value`.
+def decode_value(data) -> Any:
+    """Decode a bytes-like buffer produced by :func:`encode_value`.
 
     Rejects trailing garbage: a frame header must be exactly one value.
+    Accepts memoryviews (zero-copy frame payloads feed straight in);
+    every decoded str/bytes owns its data, so decoded values are safe
+    to keep past the view's lifetime.
     """
     value, offset = _decode_from(data, 0, depth=0)
     if offset != len(data):
@@ -159,7 +162,7 @@ def decode_value(data: bytes) -> Any:
     return value
 
 
-def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
+def _decode_from(data, offset: int, depth: int) -> tuple[Any, int]:
     # Hot path: called once per header value per frame, so length reads and
     # bounds checks are inlined rather than delegated.
     size = len(data)
@@ -196,7 +199,8 @@ def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
         if end > size:
             raise CodecError("truncated value")
         try:
-            return data[offset:end].decode("utf-8"), end
+            # bytes(bytes) is identity, so only memoryview input copies.
+            return bytes(data[offset:end]).decode("utf-8"), end
         except UnicodeDecodeError as exc:
             raise CodecError(f"invalid utf-8 in string: {exc}") from exc
     if tag == _T_BYTES:
@@ -206,7 +210,9 @@ def _decode_from(data: bytes, offset: int, depth: int) -> tuple[Any, int]:
         offset += 4
         if end > size:
             raise CodecError("truncated value")
-        return data[offset:end], end
+        # Copy out of memoryviews: decoded values must own their data
+        # (a sub-view would dangle once the decoder buffer is reused).
+        return bytes(data[offset:end]), end
     if tag in (_T_LIST, _T_TUPLE):
         count, offset = _read_length(data, offset)
         if count > _MAX_CONTAINER:
@@ -260,11 +266,17 @@ class Frame:
         self.kind = FrameKind(self.kind)
         if not 0 <= self.channel <= 0xFFFFFFFF:
             raise FrameError(f"channel id out of range: {self.channel}")
-        if not isinstance(self.payload, (bytes, bytearray)):
+        if isinstance(self.payload, bytearray):
+            self.payload = bytes(self.payload)
+        elif not isinstance(self.payload, (bytes, memoryview)):
+            # memoryview payloads are the zero-copy receive path: the
+            # decoder hands out views into its reassembly buffer (see
+            # FrameDecoder.next_frame_view for the lifetime contract).
+            # memoryview == bytes compares contents, so consumers that
+            # only read or compare payloads never notice the difference.
             raise FrameError(
                 f"payload must be bytes, got {type(self.payload).__name__}"
             )
-        self.payload = bytes(self.payload)
 
     def wire_size(self) -> int:
         """Bytes this frame occupies on the wire."""
@@ -311,15 +323,23 @@ def decode_frame(data: bytes) -> Frame:
 
 
 def _decode_frame_at(
-    data: "bytes | bytearray", offset: int
+    data: "bytes | bytearray | memoryview",
+    offset: int,
+    limit: Optional[int] = None,
+    copy: bool = True,
 ) -> tuple[Optional[Frame], int]:
     """Try to decode a frame starting at ``offset`` in ``data``.
 
-    ``data`` may be bytes or bytearray; nothing before ``offset`` is touched
-    or copied.  Returns (frame, bytes_consumed_from_offset) or (None, 0)
-    when more bytes are needed.
+    ``data`` may be bytes, bytearray or memoryview; nothing before
+    ``offset`` is touched or copied.  ``limit`` caps how far into ``data``
+    the decoder may read (logical length; defaults to ``len(data)``).
+    With ``copy=False`` the returned frame's payload is a memoryview into
+    ``data`` — valid only as long as the caller keeps the backing buffer
+    stable (see :meth:`FrameDecoder.next_frame_view`).  Returns
+    (frame, bytes_consumed_from_offset) or (None, 0) when more bytes are
+    needed.
     """
-    available = len(data) - offset
+    available = (len(data) if limit is None else limit) - offset
     if available < _HEADER_STRUCT.size:
         return None, 0
     magic, version, kind_raw, channel, hlen, plen = _HEADER_STRUCT.unpack_from(
@@ -345,11 +365,18 @@ def _decode_frame_at(
         header_blob = data[body_start : body_start + hlen]
         payload = data[body_start + hlen : offset + total]
     else:
-        # One copy per field (a plain bytearray slice would copy twice).
         view = memoryview(data)
+        # Headers are small and must be bytes for the value codec; the
+        # payload is the bulk, so that is where copy=False pays off.
         header_blob = bytes(view[body_start : body_start + hlen])
-        payload = bytes(view[body_start + hlen : offset + total])
-        view.release()
+        if copy:
+            # One copy per field (a plain bytearray slice would copy twice).
+            payload = bytes(view[body_start + hlen : offset + total])
+            view.release()
+        elif plen:
+            payload = view[body_start + hlen : offset + total]
+        else:
+            payload = b""  # empty views would pin the buffer for nothing
     try:
         headers = decode_value(header_blob)
     except CodecError as exc:
@@ -379,38 +406,119 @@ _COMPACT_THRESHOLD = 256 * 1024
 class FrameDecoder:
     """Incremental decoder for a byte stream (TCP reassembly).
 
-    Feed arbitrary chunks with :meth:`feed`; iterate complete frames off
-    the decoder.  Corrupt input raises :class:`FrameError` and poisons the
-    decoder (a stream with a framing error cannot be resynchronised).
+    Feed arbitrary chunks with :meth:`feed` (bytes, bytearray or
+    memoryview — no intermediate ``bytes()`` copy is made), or read
+    straight off a socket with :meth:`feed_into`; iterate complete frames
+    off the decoder.  Corrupt input raises :class:`FrameError` and poisons
+    the decoder (a stream with a framing error cannot be resynchronised).
 
-    Internally the buffer keeps a consumed offset instead of re-slicing
-    per frame, so reassembly cost is linear in bytes received even under
-    one-byte TCP reads; consumed space is reclaimed lazily.
+    Internally one bytearray holds the stream with a consumed offset and
+    reserved tail capacity, so reassembly cost is linear in bytes received
+    even under one-byte TCP reads; consumed space is reclaimed at feed
+    time only, never between decodes.
+
+    **Zero-copy lifetime contract.** :meth:`next_frame_view` returns
+    frames whose payload is a memoryview into the reassembly buffer.
+    Such views are valid until the next ``feed``/``feed_into`` call on
+    this decoder; consume (or copy) them before feeding again.  A caller
+    that violates the contract never sees corruption — feeding while
+    views are still exported makes the decoder abandon the old buffer to
+    those views and continue in a fresh one (the views stay correct, the
+    decoder just pays the copy the caller was trying to avoid).
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        self._offset = 0  # bytes of self._buffer already decoded
+        self._len = 0  # logical bytes fed (buffer may hold spare capacity)
+        self._offset = 0  # bytes of the logical prefix already decoded
         self._poisoned = False
+        self._views_out = False  # next_frame_view handed out buffer views
         #: wire size of the frame most recently returned by next_frame
         self.last_frame_wire_size = 0
 
-    def feed(self, chunk: bytes) -> None:
+    # -- feeding ---------------------------------------------------------
+
+    def feed(self, chunk: "bytes | bytearray | memoryview") -> None:
+        """Append a received chunk (any bytes-like object, uncopied)."""
         if self._poisoned:
             raise FrameError("decoder poisoned by earlier framing error")
         self._compact()
-        self._buffer += chunk
+        clen = len(chunk)
+        if clen:
+            self._reserve(clen)
+            # Equal-length slice assignment copies straight from the
+            # source buffer — legal even while old views are exported
+            # (no resize), and never materialises an intermediate bytes.
+            self._buffer[self._len : self._len + clen] = chunk
+            self._len += clen
+
+    def feed_into(self, readinto, max_bytes: int = 64 * 1024) -> int:
+        """Read from ``readinto`` straight into the reassembly buffer.
+
+        ``readinto(view)`` must fill the writable view and return the
+        byte count (``socket.recv_into`` has exactly this shape), so the
+        kernel-to-decoder hop is the only copy on the receive path.
+        Returns the byte count (0 means EOF).  A ``BlockingIOError`` or
+        other exception from ``readinto`` leaves the decoder unchanged.
+        """
+        if self._poisoned:
+            raise FrameError("decoder poisoned by earlier framing error")
+        self._compact()
+        self._reserve(max_bytes)
+        with memoryview(self._buffer) as whole:
+            n = readinto(whole[self._len : self._len + max_bytes])
+        if n:
+            self._len += n
+        return n or 0
+
+    def _reserve(self, extra: int) -> None:
+        """Grow physical capacity so ``extra`` more bytes fit."""
+        need = self._len + extra
+        cap = len(self._buffer)
+        if need <= cap:
+            return
+        grow = max(need, cap * 2, 64 * 1024) - cap
+        try:
+            self._buffer += bytes(grow)
+        except BufferError:
+            # A leaked view pins the old buffer: abandon it (its content
+            # stays stable for the view holders) and continue in a copy.
+            fresh = bytearray(max(need, cap * 2, 64 * 1024))
+            fresh[: self._len] = memoryview(self._buffer)[: self._len]
+            self._buffer = fresh
+            self._views_out = False
 
     def _compact(self) -> None:
         offset = self._offset
         if not offset:
             return
-        if offset >= len(self._buffer):
-            self._buffer.clear()
+        if offset >= self._len:
+            # Fully drained: rewind and reuse the buffer — unless views
+            # into it may still be alive, in which case reusing the space
+            # would silently corrupt them.  The append probe is how a
+            # bytearray reports live exports; on the common path (views
+            # consumed before the next feed) it costs one branch.
+            if self._views_out:
+                try:
+                    self._buffer.append(0)
+                    del self._buffer[-1:]
+                except BufferError:
+                    self._buffer = bytearray(len(self._buffer))
+                self._views_out = False
+            self._len = 0
             self._offset = 0
         elif offset >= _COMPACT_THRESHOLD:
-            del self._buffer[:offset]
+            try:
+                del self._buffer[:offset]
+            except BufferError:
+                self._buffer = bytearray(
+                    memoryview(self._buffer)[offset : self._len]
+                )
+                self._views_out = False
+            self._len -= offset
             self._offset = 0
+
+    # -- decoding --------------------------------------------------------
 
     def __iter__(self) -> Iterator[Frame]:
         return self
@@ -422,22 +530,36 @@ class FrameDecoder:
         return frame
 
     def next_frame(self) -> Optional[Frame]:
-        """Pop one complete frame, or None when more bytes are needed."""
+        """Pop one complete frame (payload copied), or None if starved."""
+        return self._next(copy=True)
+
+    def next_frame_view(self) -> Optional[Frame]:
+        """Pop one complete frame with a zero-copy memoryview payload.
+
+        The payload view is valid until the next ``feed``/``feed_into``
+        on this decoder — see the class docstring for the full contract.
+        """
+        return self._next(copy=False)
+
+    def _next(self, copy: bool) -> Optional[Frame]:
         if self._poisoned:
             raise FrameError("decoder poisoned by earlier framing error")
         try:
-            frame, consumed = _decode_frame_at(self._buffer, self._offset)
+            frame, consumed = _decode_frame_at(
+                self._buffer, self._offset, limit=self._len, copy=copy
+            )
         except FrameError:
             self._poisoned = True
             raise
         if frame is None:
             return None
+        if not copy and isinstance(frame.payload, memoryview):
+            self._views_out = True
         self._offset += consumed
         self.last_frame_wire_size = consumed
-        self._compact()
         return frame
 
     @property
     def pending_bytes(self) -> int:
         """Bytes fed but not yet decoded into a returned frame."""
-        return len(self._buffer) - self._offset
+        return self._len - self._offset

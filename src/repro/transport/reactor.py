@@ -53,7 +53,7 @@ from repro.transport.errors import (
     TransportTimeout,
 )
 from repro.transport.frames import Frame, FrameDecoder, encode_frame_views
-from repro.transport.tcp import TcpListener
+from repro.transport.tcp import TcpListener, _set_nodelay
 
 __all__ = [
     "Reactor",
@@ -130,12 +130,14 @@ class TimerHandle:
 class _Registration:
     """One channel's membership on a loop: ready-flag + drain bookkeeping."""
 
-    __slots__ = ("channel", "on_frame", "on_close", "_loop", "_lock",
-                 "_scheduled", "_closed")
+    __slots__ = ("channel", "on_frame", "on_batch", "on_close", "_loop",
+                 "_lock", "_scheduled", "_closed")
 
-    def __init__(self, channel: Channel, on_frame, on_close, loop: "_Loop"):
+    def __init__(self, channel: Channel, on_frame, on_close, loop: "_Loop",
+                 on_batch=None):
         self.channel = channel
         self.on_frame = on_frame
+        self.on_batch = on_batch
         self.on_close = on_close
         self._loop = loop
         self._lock = threading.Lock()
@@ -158,6 +160,9 @@ class _Registration:
             self._scheduled = False
             if self._closed:
                 return
+        if self.on_batch is not None:
+            self._drain_batch()
+            return
         for _ in range(_DRAIN_BATCH):
             try:
                 frame = self.channel.poll_recv()
@@ -173,6 +178,36 @@ class _Registration:
         # Batch exhausted with frames possibly still pending: yield the
         # loop to other channels and reschedule ourselves.
         self.ready()
+
+    def _drain_batch(self) -> None:
+        """Collect the whole decoder backlog, deliver it as one batch.
+
+        One loop wakeup → one ``on_batch(frames)`` call → one dispatch
+        pass downstream, so per-frame scheduling overhead (ready-flag
+        churn, handler indirection, reply syscalls) is paid per burst.
+        Frames already drained are always delivered before a terminal
+        condition is surfaced — a death notice must not eat data.
+        """
+        batch: list = []
+        error: Optional[Exception] = None
+        for _ in range(_DRAIN_BATCH):
+            try:
+                frame = self.channel.poll_recv()
+            except Exception as exc:
+                error = exc
+                break
+            if frame is None:
+                break
+            batch.append(frame)
+        if batch:
+            try:
+                self.on_batch(batch)
+            except Exception:
+                pass  # a faulty handler must not kill the shared loop
+        if error is not None:
+            self._finish(error)
+        elif len(batch) == _DRAIN_BATCH:
+            self.ready()  # backlog may run deeper: yield, then continue
 
     def _finish(self, exc: Exception) -> None:
         with self._lock:
@@ -446,8 +481,9 @@ class Reactor:
     def add_channel(
         self,
         channel: Channel,
-        on_frame: Callable[[Frame], None],
+        on_frame: Optional[Callable[[Frame], None]] = None,
         on_close: Optional[Callable[[Channel, Exception], None]] = None,
+        on_batch: Optional[Callable[[list], None]] = None,
     ) -> _Registration:
         """Drive ``channel`` from the loop: every frame → ``on_frame``.
 
@@ -456,7 +492,14 @@ class Reactor:
         pairs, fault-injected wrappers, and secure channels layered over
         any of them.  ``on_close(channel, exc)`` fires once when the
         channel dies (peer gone, framing error, record MAC failure).
+
+        ``on_batch(frames)``, when given, replaces per-frame delivery:
+        each loop wakeup drains the channel's whole decoded backlog (up
+        to an internal cap) and hands it over as one list, letting the
+        consumer dispatch and reply in bulk.
         """
+        if on_frame is None and on_batch is None:
+            raise ValueError("add_channel needs on_frame or on_batch")
         if not channel.supports_reactor:
             raise ValueError(
                 f"channel {channel.name!r} does not support reactor I/O"
@@ -464,7 +507,9 @@ class Reactor:
         # Pin layered channels to the loop that owns their underlying fd
         # when there is one; queue-backed channels round-robin.
         loop = getattr(channel, "reactor_loop", None) or self.next_loop()
-        registration = _Registration(channel, on_frame, on_close, loop)
+        registration = _Registration(
+            channel, on_frame, on_close, loop, on_batch=on_batch
+        )
         channel.set_ready_callback(registration.ready)
         registration.ready()  # drain anything buffered before we attached
         return registration
@@ -478,20 +523,34 @@ class Reactor:
 class ReactorTcpChannel(Channel):
     """A frame channel over one non-blocking TCP socket owned by a loop.
 
-    Inbound: the loop reads, feeds a :class:`FrameDecoder`, and parks
-    decoded frames in an internal queue; blocking :meth:`recv` (used by
-    the synchronous handshake) pops that queue, and once the channel is
-    registered with :meth:`Reactor.add_channel` the loop drains it into
-    the consumer's callback.
+    Inbound is the **zero-copy receive path**: the loop only
+    ``recv_into``'s the decoder's reassembly buffer (kernel→buffer is the
+    sole copy) and notifies consumers; frames are decoded lazily at
+    :meth:`poll_recv` / :meth:`recv` time.  ``poll_recv`` on the owning
+    loop thread returns frames whose payload is a memoryview into the
+    decoder buffer — valid until the loop's next read, which is safe
+    because reads and loop-side consumption are the same thread and
+    layered consumers (the record cipher) open each frame before the
+    drain continues.  Cross-thread blocking ``recv`` always copies.
+    ``REPRO_ZEROCOPY=0`` forces the copying decode everywhere (the PR 3
+    behaviour, kept as a benchmark baseline and kill switch).
 
     Outbound: frames are encoded to iovec views and appended to a bounded
     write queue (``max_write_queue`` bytes).  The loop flushes the whole
     backlog with one vectored ``sendmsg`` (group commit, same as the
-    threaded fast path); EAGAIN arms write interest.  A full queue blocks
-    ``send`` up to ``send_timeout`` seconds, then raises
+    threaded fast path); EAGAIN arms write interest.  An **adaptive
+    coalescing window** sized from the observed write-queue depth defers
+    a hot channel's flush by one loop pass so concurrent producers share
+    a syscall, and shrinks back to 1 when the queue runs shallow.  A full
+    queue blocks ``send`` up to ``send_timeout`` seconds, then raises
     :class:`ChannelBusy`; on the loop thread itself ``send`` never blocks
     — it raises immediately so a handler can't deadlock its own loop.
+    Backpressure is checked eagerly, *before* anything is queued: a
+    ``send_many`` burst that doesn't fit leaves no partial batch behind.
     """
+
+    #: upper bound on the adaptive coalescing window (frames)
+    MAX_COALESCE_WINDOW = 64
 
     def __init__(
         self,
@@ -504,15 +563,21 @@ class ReactorTcpChannel(Channel):
         super().__init__(name=name)
         reactor = reactor or get_global_reactor()
         self._sock = sock
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _set_nodelay(sock)
         self._sock.setblocking(False)
         self.reactor_loop = reactor.next_loop()
         self.max_write_queue = max_write_queue
         self.send_timeout = send_timeout
-        # inbound
+        # inbound: raw bytes land in the decoder on the loop thread;
+        # decode happens at consumption time under _rx_cond.
         self._decoder = FrameDecoder()
-        self._frames: deque = deque()  # (frame, wire_size) | _EOF | FrameError
-        self._frames_cond = threading.Condition()
+        self._rx_cond = threading.Condition()
+        self._rx_eof = False
+        self._rx_error: Optional[Exception] = None
+        self._zero_copy = (
+            os.environ.get("REPRO_ZEROCOPY", "1").lower()
+            not in ("0", "off", "false")
+        )
         self._ready_cb: Optional[Callable[[], None]] = None
         # outbound
         self._wq: deque = deque()  # (views, frame_size)
@@ -523,6 +588,9 @@ class ReactorTcpChannel(Channel):
         self._m_wq_gauge = get_global_registry().gauge("reactor.write_queue_bytes")
         self._flush_scheduled = False
         self._write_armed = False
+        # Adaptive coalescing state (touched on the owning loop only).
+        self._coalesce_window = 1
+        self._coalesce_deferred = False
         self._closed = threading.Event()
         self.reactor_loop.schedule(self._register_read)
 
@@ -539,7 +607,7 @@ class ReactorTcpChannel(Channel):
                 self._sock, selectors.EVENT_READ, self._on_io
             )
         except (OSError, ValueError, KeyError):
-            self._push_inbound(_EOF)
+            self._mark_eof()
 
     def _on_io(self, mask: int) -> None:
         if mask & selectors.EVENT_WRITE:
@@ -548,31 +616,31 @@ class ReactorTcpChannel(Channel):
             self._on_readable()
 
     def _on_readable(self) -> None:
-        try:
-            chunk = self._sock.recv(_RECV_CHUNK)  # gridlint: disable=GL101 -- socket is non-blocking (setblocking(False) before registration)
-        except (BlockingIOError, InterruptedError):
-            return
-        except OSError:
-            chunk = b""
-        if not chunk:
+        with self._rx_cond:
+            try:
+                n = self._decoder.feed_into(self._sock.recv_into, _RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                return
+            except (OSError, FrameError):
+                # OSError: socket died under us.  FrameError: the decoder
+                # was poisoned by a consumer-side decode; either way the
+                # stream is over.
+                n = 0
+            if n:
+                self._rx_cond.notify_all()
+            else:
+                self._rx_eof = True
+                self._rx_cond.notify_all()
+        if not n:
             self.reactor_loop.unregister_fd(self._sock)
-            self._push_inbound(_EOF)
-            return
-        try:
-            self._decoder.feed(chunk)
-            while True:
-                frame = self._decoder.next_frame()
-                if frame is None:
-                    break
-                self._push_inbound((frame, self._decoder.last_frame_wire_size))
-        except FrameError as exc:
-            self.reactor_loop.unregister_fd(self._sock)
-            self._push_inbound(exc)
+        cb = self._ready_cb
+        if cb is not None:
+            cb()
 
-    def _push_inbound(self, item) -> None:
-        with self._frames_cond:
-            self._frames.append(item)
-            self._frames_cond.notify_all()
+    def _mark_eof(self) -> None:
+        with self._rx_cond:
+            self._rx_eof = True
+            self._rx_cond.notify_all()
         cb = self._ready_cb
         if cb is not None:
             cb()
@@ -581,35 +649,63 @@ class ReactorTcpChannel(Channel):
 
     def recv(self, timeout: Optional[float] = None) -> Frame:
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._frames_cond:
-            while not self._frames:
+        with self._rx_cond:
+            while True:
+                frame = self._try_decode()
+                if frame is not None:
+                    return frame
+                if self._rx_error is not None or self._rx_eof:
+                    self._raise_terminal()
                 remaining = (
                     None if deadline is None else deadline - time.monotonic()
                 )
                 if remaining is not None and remaining <= 0:
                     raise TransportTimeout(f"{self.name}: recv timed out")
-                self._frames_cond.wait(timeout=remaining)
-            item = self._frames.popleft()
-            return self._open_inbound(item)
+                self._rx_cond.wait(timeout=remaining)
 
     def poll_recv(self) -> Optional[Frame]:
-        with self._frames_cond:
-            if not self._frames:
-                return None
-            item = self._frames.popleft()
-            return self._open_inbound(item)
+        with self._rx_cond:
+            frame = self._try_decode()
+            if frame is not None:
+                return frame
+            if self._rx_error is not None or self._rx_eof:
+                self._raise_terminal()
+            return None
 
-    def _open_inbound(self, item) -> Frame:
-        # Caller holds _frames_cond.
-        if item is _EOF:
-            self._frames.appendleft(_EOF)  # stays visible for later recvs
-            raise ChannelClosed(f"{self.name}: connection closed")
-        if isinstance(item, FrameError):
-            self._frames.appendleft(_EOF)
-            raise item
-        frame, wire_size = item
-        self.stats.on_receive(wire_size)
+    def _try_decode(self) -> Optional[Frame]:
+        """Decode the next buffered frame; caller holds ``_rx_cond``.
+
+        Zero-copy (memoryview payload) only on the owning loop thread,
+        where decode is serialised with the loop's own reads; any other
+        thread gets a copying decode, immune to later buffer reuse.
+        """
+        if self._rx_error is not None:
+            return None
+        zero = self._zero_copy and self.reactor_loop.on_loop_thread()
+        try:
+            frame = (
+                self._decoder.next_frame_view()
+                if zero
+                else self._decoder.next_frame()
+            )
+        except FrameError as exc:
+            self._rx_error = exc
+            self.reactor_loop.schedule(self._detach_read)
+            return None
+        if frame is not None:
+            self.stats.on_receive(self._decoder.last_frame_wire_size)
         return frame
+
+    def _raise_terminal(self):
+        # Caller holds _rx_cond; decoder is drained.
+        if self._rx_error is not None:
+            exc, self._rx_error = self._rx_error, None
+            self._rx_eof = True  # later recvs see a closed channel
+            raise exc
+        raise ChannelClosed(f"{self.name}: connection closed")
+
+    def _detach_read(self) -> None:
+        self.reactor_loop.unregister_fd(self._sock)
 
     @property
     def supports_reactor(self) -> bool:
@@ -677,10 +773,43 @@ class ReactorTcpChannel(Channel):
                 self.reactor_loop.schedule(self._flush_on_loop)
 
     def _flush_on_loop(self) -> None:
-        """Drain the write queue with vectored non-blocking writes."""
+        """Drain the write queue with vectored non-blocking writes.
+
+        Adaptive group commit: when producers have recently kept the
+        queue deeper than one frame, the first flush of a burst defers
+        itself by one loop pass (``schedule`` re-queues it behind the
+        work already pending on the loop), letting concurrent senders
+        pile on so the whole burst shares one ``sendmsg``.  The window
+        grows while flushes keep observing a backlog at or above it and
+        shrinks as soon as the queue runs shallow — an idle channel pays
+        zero added latency.  Deferral is skipped outright when the queue
+        is under memory pressure: with backpressure imminent, draining
+        beats batching.
+        """
         with self._wq_cond:
             self._flush_scheduled = False
+            depth = len(self._wq)
+            defer = (
+                depth
+                and not self._coalesce_deferred
+                and depth < self._coalesce_window
+                and self._wq_bytes * 2 < self.max_write_queue
+                and not self._write_armed
+            )
+            if defer:
+                self._coalesce_deferred = True
+                self._flush_scheduled = True
             backlog = list(self._wq)
+        if defer:
+            self.reactor_loop.schedule(self._flush_on_loop)
+            return
+        self._coalesce_deferred = False
+        # Window adaptation, from the depth this flush actually observed.
+        if depth >= self._coalesce_window:
+            if self._coalesce_window < self.MAX_COALESCE_WINDOW:
+                self._coalesce_window *= 2
+        elif depth <= 1 and self._coalesce_window > 1:
+            self._coalesce_window //= 2
         if not backlog or self._closed.is_set():
             return
         views = deque()
@@ -779,7 +908,7 @@ class ReactorTcpChannel(Channel):
             self._sock.close()
         except OSError:
             pass
-        self._push_inbound(_EOF)
+        self._mark_eof()
 
     @property
     def closed(self) -> bool:
@@ -800,8 +929,9 @@ class ReactorTcpListener(TcpListener):
         port: int = 0,
         backlog: int = 64,
         reactor: Optional[Reactor] = None,
+        reuseport: bool = False,
     ):
-        super().__init__(host=host, port=port, backlog=backlog)
+        super().__init__(host=host, port=port, backlog=backlog, reuseport=reuseport)
         self._reactor = reactor
 
     def _make_channel(self, conn: socket.socket, name: str) -> Channel:

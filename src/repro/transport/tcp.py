@@ -35,6 +35,18 @@ _EOF = object()
 _IOV_MAX = 1024  # conservative bound on buffers per sendmsg call
 
 
+def _set_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle where the transport is actually TCP.
+
+    Frame channels also run over Unix socketpairs (the shard manager's
+    parent↔worker control links), where TCP options simply don't apply.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
+
+
 def _sendall_views(sock: socket.socket, views: list) -> None:
     """Write every buffer in ``views`` in order, without concatenating.
 
@@ -64,7 +76,7 @@ class TcpChannel(Channel):
     def __init__(self, sock: socket.socket, name: str = "tcp"):
         super().__init__(name=name)
         self._sock = sock
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        _set_nodelay(sock)
         self._send_lock = threading.Lock()
         # Encoded-but-unsent frames: (views, wire_size).  Whoever holds the
         # send lock drains the whole queue in one vectored write, so frames
@@ -82,10 +94,10 @@ class TcpChannel(Channel):
         decoder = FrameDecoder()
         try:
             while True:
-                chunk = self._sock.recv(_RECV_CHUNK)
-                if not chunk:
+                # recv_into the decoder's reserved tail: the kernel copy
+                # is the only one before frame decode (no per-chunk bytes).
+                if not decoder.feed_into(self._sock.recv_into, _RECV_CHUNK):
                     break
-                decoder.feed(chunk)
                 while True:
                     frame = decoder.next_frame()
                     if frame is None:
@@ -160,9 +172,19 @@ class TcpChannel(Channel):
 class TcpListener(Listener):
     """Listening socket producing :class:`TcpChannel` per connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 64):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 64,
+        reuseport: bool = False,
+    ):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            # Kernel-side accept sharding: several workers bind the same
+            # port and the kernel spreads connections across them.
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
         self._closed = threading.Event()

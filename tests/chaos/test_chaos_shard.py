@@ -1,0 +1,98 @@
+"""Chaos suite, shard level: worker processes killed mid-stream.
+
+The fleet's resilience claim mirrors the grid's: a hard-killed worker
+costs the client a typed error (:class:`PeerUnavailable` /
+:class:`RequestTimeout`) on the connections it was serving — never a
+hang — and the supervisor respawns it, so the *service* keeps its
+capacity.  The kill point and victim are seeded, so any failure replays
+exactly (see ``tests/chaos/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.protocol import Op
+from repro.core.proxy import PeerUnavailable, RequestTimeout
+from repro.core.shardmgr import ShardClient, ShardManager
+
+from tests.chaos.conftest import replaying
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
+#: Requests per seed; the kill lands somewhere inside the stream.
+STREAM_LEN = 40
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    manager = ShardManager(shards=2, name="chaos-shards").start()
+    yield manager
+    manager.stop()
+
+
+def _await_capacity(manager, workers: int = 2, timeout: float = 30.0):
+    """Block until ``workers`` live workers answer SHARD_STATS."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(manager.stats(timeout=5.0)) >= workers:
+            return
+        time.sleep(0.1)
+    raise AssertionError("fleet never recovered full capacity")
+
+
+def test_kill_mid_stream_fails_typed_then_recovers(fleet, chaos_seed):
+    rng = random.Random(chaos_seed)
+    kill_at = rng.randrange(5, STREAM_LEN - 5)
+    victim = rng.randrange(fleet.shards)
+    host, port = fleet.address
+    completed = failed = 0
+    with replaying(chaos_seed):
+        _await_capacity(fleet)
+        client = ShardClient(host, port, timeout=10.0)
+        try:
+            for i in range(STREAM_LEN):
+                if i == kill_at:
+                    fleet.kill_worker(victim)
+                try:
+                    reply = client.request(Op.PING, {"i": i}, timeout=10.0)
+                except PeerUnavailable:
+                    # This connection was pinned to the victim: the
+                    # stream dies loudly.  Reconnect — the survivor (or
+                    # the respawn) picks the new connection up.
+                    failed += 1
+                    client.close()
+                    client = ShardClient(host, port, timeout=10.0)
+                except RequestTimeout:
+                    failed += 1  # typed, bounded — acceptable under chaos
+                else:
+                    assert reply.op == Op.PONG
+                    assert reply.body["echo"] == {"i": i}
+                    completed += 1
+        finally:
+            client.close()
+        # The stream made real progress on both sides of the kill, and
+        # losing one worker never cost more than a few in-flight sends.
+        assert completed >= STREAM_LEN - 10
+        assert failed <= 10
+        # Supervision restores full capacity for the next seed.
+        _await_capacity(fleet)
+        assert sum(fleet.respawns.values()) >= 1
+
+
+def test_replay_is_deterministic(fleet, chaos_seed):
+    """The seeded schedule itself is replayable: same seed, same kill
+    point and victim — the precondition for CHAOS_SEED debugging."""
+    with replaying(chaos_seed):
+        first = random.Random(chaos_seed)
+        second = random.Random(chaos_seed)
+        assert (
+            first.randrange(5, STREAM_LEN - 5),
+            first.randrange(fleet.shards),
+        ) == (
+            second.randrange(5, STREAM_LEN - 5),
+            second.randrange(fleet.shards),
+        )

@@ -1,0 +1,191 @@
+"""Integration tests for the multi-core shard fleet.
+
+A real :class:`ShardManager` spawns worker *processes* (spawn context,
+never fork), so these tests exercise the whole production path: accept
+sharding, the per-worker reactor + dispatch pipeline, the control links,
+``SHARD_STATS`` folding, and crash → respawn → re-announce supervision.
+Both distribution modes run where the platform supports them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.core.protocol import Op
+from repro.core.proxy import PeerUnavailable
+from repro.core.shardmgr import ShardClient, ShardManager
+from repro.obs.metrics import fold_snapshots
+from repro.transport.shard import supports_fd_passing, supports_reuseport
+
+pytestmark = pytest.mark.slow
+
+MODES = [
+    mode
+    for mode, ok in (
+        ("reuseport", supports_reuseport()),
+        ("fdpass", supports_fd_passing()),
+    )
+    if ok
+]
+
+if not MODES:  # pragma: no cover - no POSIX sharding primitives at all
+    pytest.skip("no shard distribution mode supported", allow_module_level=True)
+
+
+@pytest.fixture(scope="module", params=MODES)
+def manager(request):
+    """One two-worker fleet per supported mode, shared across the module."""
+    mgr = ShardManager(
+        shards=2, mode=request.param, name=f"it-{request.param}"
+    ).start()
+    yield mgr
+    mgr.stop()
+
+
+def _ping_until_both_shards(manager, attempts: int = 64) -> set[int]:
+    """Open fresh connections until replies have come from both workers."""
+    host, port = manager.address
+    seen: set[int] = set()
+    for i in range(attempts):
+        with ShardClient(host, port, timeout=10.0) as client:
+            reply = client.request(Op.PING, {"n": i})
+            assert reply.op == Op.PONG
+            assert reply.body["echo"] == {"n": i}
+            seen.add(reply.body["shard"])
+        if seen == {0, 1}:
+            break
+    return seen
+
+
+class TestShardedEcho:
+    def test_echo_spreads_across_both_workers(self, manager):
+        assert _ping_until_both_shards(manager) == {0, 1}
+
+    def test_many_frames_on_one_connection(self, manager):
+        host, port = manager.address
+        with ShardClient(host, port) as client:
+            for i in range(50):
+                reply = client.request(Op.PING, {"seq": i})
+                assert reply.body["echo"] == {"seq": i}
+
+    def test_unknown_op_gets_error_reply(self, manager):
+        host, port = manager.address
+        with ShardClient(host, port) as client:
+            reply = client.request(Op.JOB_SUBMIT, {"task": "nope"})
+            assert reply.op == Op.ERROR
+
+
+class TestShardStats:
+    def test_folded_counters_equal_sum_of_worker_registries(self, manager):
+        _ping_until_both_shards(manager)
+        per_worker = manager.stats()
+        assert [body["shard"] for body in per_worker] == [0, 1]
+        manual = {}
+        for body in per_worker:
+            for name, value in body["metrics"]["counters"].items():
+                manual[name] = manual.get(name, 0) + value
+        # The library fold agrees with the hand-rolled sum exactly.
+        reference = fold_snapshots([body["metrics"] for body in per_worker])
+        assert reference["counters"] == manual
+        folded = manager.folded_snapshot()
+        # folded_snapshot re-queries the workers, and the SHARD_STATS
+        # requests themselves tick dispatch counters — so data-plane
+        # counters match exactly while control-plane ones only grow.
+        assert folded["counters"]["shard.frames"] == manual["shard.frames"]
+        assert folded["counters"]["shard.replies"] == manual["shard.replies"]
+        for name, value in manual.items():
+            assert folded["counters"][name] >= value
+        assert len(folded["workers"]) == 2
+        assert folded["mode"] == manager.mode
+        assert both_shards_served(per_worker)
+
+
+def both_shards_served(per_worker: list[dict]) -> bool:
+    return all(
+        body["metrics"]["counters"].get("shard.frames", 0) > 0
+        for body in per_worker
+    )
+
+
+class TestWorkerSupervision:
+    @pytest.fixture()
+    def crash_manager(self):
+        mgr = ShardManager(shards=2, name="crash-it").start()
+        yield mgr
+        mgr.stop()
+
+    def _await_respawn(self, manager, shard_id: int, old_pid: int) -> dict:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            workers = {
+                body["shard"]: body["pid"] for body in manager.stats(timeout=5.0)
+            }
+            if workers.get(shard_id) not in (None, old_pid):
+                return workers
+            time.sleep(0.1)
+        raise AssertionError(f"shard {shard_id} never re-announced")
+
+    def test_crashed_worker_respawns_and_reannounces(self, crash_manager):
+        old_pid = crash_manager.kill_worker(0)
+        workers = self._await_respawn(crash_manager, 0, old_pid)
+        assert workers[0] != old_pid
+        assert crash_manager.respawns.get(0, 0) >= 1
+        # The respawned fleet still serves traffic on the same address.
+        assert _ping_until_both_shards(crash_manager) == {0, 1}
+
+    def test_inflight_request_on_dead_worker_surfaces_not_hangs(
+        self, crash_manager
+    ):
+        host, port = crash_manager.address
+        client = ShardClient(host, port, timeout=10.0)
+        try:
+            reply = client.request(Op.PING, {})
+            victim = reply.body["shard"]
+            crash_manager.kill_worker(victim)
+            start = time.monotonic()
+            with pytest.raises(PeerUnavailable):
+                # The connection terminates at the dead worker: the
+                # request must fail loudly, never hang.
+                for _ in range(10):
+                    client.request(Op.PING, {}, timeout=5.0)
+                    time.sleep(0.2)
+            assert time.monotonic() - start < 30.0
+        finally:
+            client.close()
+
+
+class TestProxyIntegration:
+    def test_obs_dump_carries_one_folded_shard_snapshot(self):
+        grid = Grid()
+        try:
+            grid.add_site("siteA", nodes=1)
+            manager = grid.start_shard_frontend("siteA", shards=2)
+            assert manager is not None
+            host, port = manager.address
+            with ShardClient(host, port) as client:
+                for i in range(5):
+                    client.request(Op.PING, {"i": i})
+            dump = grid.proxy_of("siteA").observability()
+            shards = dump["shards"]
+            assert len(shards["workers"]) == 2
+            assert shards["counters"]["shard.frames"] >= 5
+            manual = sum(
+                body["metrics"]["counters"].get("shard.frames", 0)
+                for body in manager.stats()
+            )
+            assert shards["counters"]["shard.frames"] == manual
+        finally:
+            grid.shutdown()
+
+    def test_env_unset_leaves_grid_unsharded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        grid = Grid()
+        try:
+            grid.add_site("siteA", nodes=1)
+            assert grid.start_shard_frontend("siteA") is None
+            assert "shards" not in grid.proxy_of("siteA").observability()
+        finally:
+            grid.shutdown()

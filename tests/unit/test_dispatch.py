@@ -305,3 +305,88 @@ class TestClose:
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError):
             DispatchPipeline(workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Batch dispatch: reply group commit
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchBatch:
+    def test_inline_replies_group_commit(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {"n": m.body["n"]}))
+        messages = [_message(body={"n": i}) for i in range(5)]
+        singles, bursts = [], []
+        pipeline.dispatch_batch(
+            messages, "peer", singles.append, respond_many=bursts.append
+        )
+        # All five inline replies leave in ONE burst, none singly.
+        assert singles == []
+        assert len(bursts) == 1
+        assert [r.body["n"] for r in bursts[0]] == [0, 1, 2, 3, 4]
+        assert [r.reply_to for r in bursts[0]] == [m.message_id for m in messages]
+
+    def test_single_message_skips_group_commit(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        singles, bursts = [], []
+        pipeline.dispatch_batch(
+            [_message()], "peer", singles.append, respond_many=bursts.append
+        )
+        assert bursts == [] and len(singles) == 1
+
+    def test_without_respond_many_behaves_like_dispatch(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        singles = []
+        pipeline.dispatch_batch([_message(), _message()], "peer", singles.append)
+        assert len(singles) == 2
+
+    def test_single_inline_reply_in_batch_responds_singly(self, pipeline):
+        # Two requests, only one yields a reply: no burst for a batch of 1.
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        pipeline.register(Op.BYE, lambda m, p: None)
+        singles, bursts = [], []
+        pipeline.dispatch_batch(
+            [_message(), _message(op=Op.BYE)], "peer",
+            singles.append, respond_many=bursts.append,
+        )
+        assert bursts == [] and len(singles) == 1
+
+    def test_blocking_handler_replies_singly_after_window(self, pipeline):
+        release = threading.Event()
+        done = threading.Event()
+
+        def slow(m, p):
+            release.wait(timeout=5.0)
+            return m.reply(Op.PONG, {"slow": True})
+
+        pipeline.register(Op.PING, slow, blocking=True)
+        pipeline.register(Op.STATUS_QUERY, lambda m, p: m.reply(Op.STATUS_REPORT, {}))
+        singles, bursts = [], []
+
+        def single(reply):
+            singles.append(reply)
+            done.set()
+
+        pipeline.dispatch_batch(
+            [_message(), _message(op=Op.STATUS_QUERY), _message(op=Op.STATUS_QUERY)],
+            "peer", single, respond_many=bursts.append,
+        )
+        # The two inline replies group-committed while the slow one was
+        # still on the pool; its late reply goes out singly.
+        assert len(bursts) == 1 and len(bursts[0]) == 2
+        release.set()
+        assert done.wait(timeout=5.0)
+        assert singles[0].body == {"slow": True}
+
+    def test_burst_failure_falls_back_per_reply(self, pipeline):
+        pipeline.register(Op.PING, lambda m, p: m.reply(Op.PONG, {}))
+        singles = []
+
+        def broken_many(batch):
+            raise OSError("vectored send failed")
+
+        pipeline.dispatch_batch(
+            [_message(), _message()], "peer",
+            singles.append, respond_many=broken_many,
+        )
+        assert len(singles) == 2  # no reply lost

@@ -229,3 +229,91 @@ class TestFrameDecoder:
             decoder.feed(b"more")
         with pytest.raises(FrameError):
             decoder.next_frame()
+
+
+class TestZeroCopyDecoder:
+    """The memoryview receive path: no-copy feeds, view-payload decode,
+    and the lifetime contract (views are valid until the next feed)."""
+
+    def _frame(self, n, size=32):
+        return Frame(
+            kind=FrameKind.DATA, headers={"n": n}, payload=bytes([n % 256]) * size
+        )
+
+    def test_feed_accepts_bytes_like_without_conversion(self):
+        blob = encode_frame(self._frame(1))
+        for chunk in (bytearray(blob), memoryview(blob), memoryview(bytearray(blob))):
+            decoder = FrameDecoder()
+            decoder.feed(chunk)
+            frame = decoder.next_frame()
+            assert frame.headers["n"] == 1
+            assert frame.payload == self._frame(1).payload
+
+    def test_next_frame_view_returns_memoryview_payload(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(self._frame(7)))
+        frame = decoder.next_frame_view()
+        assert isinstance(frame.payload, memoryview)
+        assert bytes(frame.payload) == self._frame(7).payload
+        assert decoder.last_frame_wire_size == len(encode_frame(self._frame(7)))
+
+    def test_view_payload_empty_frame_is_bytes(self):
+        # Zero-length views would pin the buffer for nothing.
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(Frame(kind=FrameKind.DATA, payload=b"")))
+        frame = decoder.next_frame_view()
+        assert frame.payload == b""
+        assert isinstance(frame.payload, bytes)
+
+    def test_view_content_survives_contract_violation(self):
+        # The documented lifetime is "until the next feed"; holding a view
+        # longer must degrade to a copy (the decoder abandons the buffer
+        # to the leaked view), never to corruption.
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(self._frame(1)))
+        frame = decoder.next_frame_view()
+        retained = frame.payload
+        expected = bytes(retained)
+        for n in range(2, 30):
+            decoder.feed(encode_frame(self._frame(n)))
+            nxt = decoder.next_frame_view()
+            assert nxt.headers["n"] == n
+        assert bytes(retained) == expected
+
+    def test_views_interleave_with_copying_decode(self):
+        decoder = FrameDecoder()
+        blob = b"".join(encode_frame(self._frame(n)) for n in range(6))
+        decoder.feed(blob)
+        for n in range(6):
+            frame = decoder.next_frame_view() if n % 2 else decoder.next_frame()
+            assert frame.headers["n"] == n
+            assert bytes(frame.payload) == self._frame(n).payload
+        assert decoder.pending_bytes == 0
+
+    def test_feed_into_reads_via_readinto(self):
+        import io
+
+        blob = b"".join(encode_frame(self._frame(n)) for n in range(4))
+        source = io.BytesIO(blob)
+        decoder = FrameDecoder()
+        seen = []
+        while True:
+            n = decoder.feed_into(source.readinto, max_bytes=7)
+            if not n:
+                break
+            seen.extend(f.headers["n"] for f in decoder)
+        assert seen == [0, 1, 2, 3]
+        assert decoder.feed_into(source.readinto) == 0  # EOF stays EOF
+
+    def test_decoded_values_own_their_data(self):
+        # decode_value over a memoryview must copy str/bytes leaves out:
+        # the buffer is reused after the view dies.
+        buffer = bytearray(encode_value({"key": b"payload", "s": "text"}))
+        value = decode_value(memoryview(buffer))
+        buffer[:] = bytes(len(buffer))  # clobber the backing storage
+        assert value == {"key": b"payload", "s": "text"}
+        assert isinstance(value["key"], bytes)
+
+    def test_codec_round_trip_through_memoryview(self):
+        for value in (None, 1, "x", b"y", [1, {"k": (2.5, b"z")}]):
+            assert decode_value(memoryview(encode_value(value))) == value

@@ -399,6 +399,170 @@ class TestBackpressure:
 
 
 # ---------------------------------------------------------------------------
+# Batch delivery and adaptive write coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestBatchDelivery:
+    def test_buffered_frames_arrive_as_one_batch(self, reactor):
+        """Frames queued before registration drain in a single
+        ``on_batch`` call, not five ``on_frame`` calls."""
+        a, b = channel_pair("t")
+        for i in range(5):
+            a.send(_frame(b"m%d" % i))
+        batches = []
+        done = threading.Event()
+        reactor.add_channel(
+            b, on_batch=lambda fs: (batches.append(fs), done.set())
+        )
+        assert done.wait(timeout=2.0)
+        assert len(batches) == 1
+        assert [f.payload for f in batches[0]] == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+    def test_batch_delivered_before_close_notice(self, reactor):
+        """A death notice must not eat drained frames: the final batch is
+        handed over before ``on_close`` fires."""
+        a, b = channel_pair("t")
+        for i in range(3):
+            a.send(_frame(b"%d" % i))
+        a.close()
+        order = []
+        closed = threading.Event()
+        reactor.add_channel(
+            b,
+            on_batch=lambda fs: order.append(("batch", len(fs))),
+            on_close=lambda ch, exc: (order.append(("close", type(exc))), closed.set()),
+        )
+        assert closed.wait(timeout=2.0)
+        assert order == [("batch", 3), ("close", ChannelClosed)]
+
+    def test_add_channel_requires_a_callback(self, reactor):
+        a, b = channel_pair("t")
+        with pytest.raises(ValueError):
+            reactor.add_channel(b)
+
+    def test_tcp_round_trip_via_batch(self, reactor):
+        listener = ReactorTcpListener(reactor=reactor)
+        client = ReactorTcpChannel(
+            socket.create_connection((listener.host, listener.port)),
+            reactor=reactor,
+        )
+        server = listener.accept(timeout=5.0)
+        got = []
+        done = threading.Event()
+        # Zero-copy delivery hands out memoryview payloads valid only for
+        # the duration of the batch: copy before retaining.
+        reactor.add_channel(
+            server,
+            on_batch=lambda fs: (
+                got.extend(bytes(f.payload) for f in fs),
+                len(got) >= 4 and done.set(),
+            ),
+        )
+        try:
+            client.send_many([_frame(b"b%d" % i) for i in range(4)])
+            assert done.wait(timeout=5.0)
+            assert sorted(got) == [b"b0", b"b1", b"b2", b"b3"]
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+
+class TestWriteCoalescing:
+    def _drained_pair(self, reactor):
+        """A server channel whose raw peer continuously drains."""
+        listener = ReactorTcpListener(reactor=reactor)
+        raw = socket.create_connection((listener.host, listener.port))
+        server = listener.accept(timeout=5.0)
+        stop = threading.Event()
+
+        def drain():
+            raw.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    if not raw.recv(65536):
+                        return
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+        return listener, raw, server, stop
+
+    def test_window_grows_under_burst_then_shrinks_when_idle(self, reactor):
+        listener, raw, server, stop = self._drained_pair(reactor)
+        try:
+            assert server._coalesce_window == 1
+            # Bursts keep each flush observing a deep queue: the window
+            # widens so concurrent producers share a sendmsg.
+            deadline = time.monotonic() + 5.0
+            while server._coalesce_window < 4 and time.monotonic() < deadline:
+                server.send_many([_frame(b"burst") for _ in range(16)])
+                time.sleep(0.005)
+            assert server._coalesce_window >= 4
+            # Shallow traffic shrinks it back: an idle channel must not
+            # keep paying the deferred-flush latency.
+            deadline = time.monotonic() + 5.0
+            while server._coalesce_window > 1 and time.monotonic() < deadline:
+                server.send(_frame(b"single"))
+                time.sleep(0.02)
+            assert server._coalesce_window == 1
+        finally:
+            stop.set()
+            server.close()
+            raw.close()
+            listener.close()
+
+    def test_window_never_exceeds_cap(self, reactor):
+        listener, raw, server, stop = self._drained_pair(reactor)
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and server._coalesce_window < (
+                ReactorTcpChannel.MAX_COALESCE_WINDOW
+            ):
+                server.send_many([_frame(b"x") for _ in range(128)])
+                time.sleep(0.002)
+            assert server._coalesce_window <= ReactorTcpChannel.MAX_COALESCE_WINDOW
+        finally:
+            stop.set()
+            server.close()
+            raw.close()
+            listener.close()
+
+    def test_send_many_burst_rejects_eagerly_without_partial_queue(self, reactor):
+        """Satellite regression: under a full write queue a burst must
+        raise ChannelBusy *before* queuing anything — a partial batch
+        left behind would be sent later, violating all-or-nothing."""
+        listener = ReactorTcpListener(reactor=reactor)
+        raw = socket.create_connection((listener.host, listener.port))
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        server = listener.accept(timeout=5.0)
+        server.max_write_queue = 64 * 1024
+        server.send_timeout = 0.2
+        payload = b"\x5a" * 4096
+        try:
+            with pytest.raises(ChannelBusy):
+                for _ in range(1000):
+                    server.send(_frame(payload))
+            time.sleep(0.3)  # let in-flight flushes settle against the full peer
+            before_len = len(server._wq)
+            before_bytes = server._wq_bytes
+            with pytest.raises(ChannelBusy):
+                server.send_many([_frame(payload) for _ in range(8)])
+            # All-or-nothing: the rejected burst left no partial batch.
+            assert len(server._wq) == before_len
+            assert server._wq_bytes == before_bytes
+            assert not server.closed
+        finally:
+            server.close()
+            raw.close()
+            listener.close()
+
+
+# ---------------------------------------------------------------------------
 # Lifecycle and loop-thread detection
 # ---------------------------------------------------------------------------
 
