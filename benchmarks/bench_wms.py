@@ -1,0 +1,505 @@
+"""Workload-manager benchmark: matchmaking vs round-robin at 1M jobs.
+
+Experiment E7: the paper's proxy architecture gives every site a live
+status table (Layer 3); the workload manager turns that into pilot-style
+late binding — idle nodes *claim* work that fits them instead of having
+work pushed at them blindly.  This benchmark measures what that buys on
+a heavy-tailed stream of one million synthetic jobs over a heterogeneous
+simulated grid (8 sites, 32 nodes, 8x speed spread, two big-memory
+sites):
+
+* **round_robin** — the push baseline: jobs are dealt to nodes in
+  rotation (skipping memory-ineligible nodes) and each node works its
+  own FIFO.  Speed-blind dealing is exactly what heavy tails punish.
+* **matchmaker** — the same stream through :class:`WorkloadManager`:
+  every node is a pilot that claims one job at a time with its
+  capability (speed, free RAM); fair share orders users inside each
+  priority tier.  The simulation advances an event heap of node free
+  times, so the schedule is work-conserving by construction — *if* the
+  matchmaker can always find a fitting job (the backfill bound is the
+  part under test).
+
+Reported per scheduler: makespan, capacity utilisation (total work over
+makespan x aggregate speed), and fairness as the Jain index over each
+user's time-to-first-100-results — users submit in bursts (heaviest
+first), so a FIFO baseline starves the light users' first results while
+fair share interleaves them.
+
+Two more cells exercise the durability half of the design:
+
+* **chaos_site_kill** — a smaller run where a big-memory site dies once
+  ~30% of the stream has completed.  Its leases must be requeued by
+  ``release_pilot`` exactly once, the zombie's late reports must bounce
+  off the spent-token guard, and the journal must show exactly one
+  terminal event per job: zero lost, zero duplicated.
+* **durability** — the same queue journaling every event to disk
+  (`FileJournal`), then a simulated crash and ``recover``: journaled
+  ops/s, recovery time, and a replay-identical check (recovering twice
+  yields the same state).
+
+Full mode writes ``BENCH_wms.json`` at the repo root; ``--quick`` runs
+a scaled-down stream for CI smoke.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import sys
+import tempfile
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
+
+if str(Path(__file__).resolve().parents[1]) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.common import save_table  # noqa: E402
+from repro.control.wms import (  # noqa: E402
+    FileJournal,
+    JobSpec,
+    MemoryJournal,
+    WorkloadManager,
+)
+from repro.simulation.randomness import RandomStream  # noqa: E402
+from repro.workloads.generators import JobStreamSpec, generate_job_stream  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_wms.json"
+
+SEED = 20260809
+FULL_JOBS = 1_000_000
+QUICK_JOBS = 20_000
+CHAOS_JOBS = 100_000
+QUICK_CHAOS_JOBS = 10_000
+DURABILITY_JOBS = 20_000
+QUICK_DURABILITY_JOBS = 2_000
+
+N_USERS = 8
+USER_SKEW = 1.1  # Zipf: u0 submits ~6x what u7 does
+SMALL_RAM = 64 << 20
+BIG_RAM = 3 << 30
+BIG_RAM_FRACTION = 0.08
+FAIR_K = 100  # fairness = Jain over time-to-first-K-results per user
+
+#: (site, nodes, cpu_speed, ram_free) — 8 heterogeneous sites.  Only the
+#: two "hub" sites can place BIG_RAM jobs; the chaos cell kills hub1 and
+#: hub0 must absorb its big-memory backlog.
+SITES = (
+    ("hub0", 4, 4.0, 4 << 30),
+    ("hub1", 4, 2.0, 4 << 30),
+    ("mid0", 4, 2.0, 1 << 30),
+    ("mid1", 4, 1.0, 1 << 30),
+    ("mid2", 4, 1.0, 1 << 30),
+    ("edge0", 4, 0.5, 1 << 30),
+    ("edge1", 4, 0.5, 1 << 30),
+    ("edge2", 4, 0.5, 512 << 20),
+)
+
+
+@dataclass
+class SimNode:
+    """One simulated grid node acting as its own pilot."""
+
+    name: str
+    site: str
+    speed: float
+    ram: int
+    dead: bool = field(default=False, compare=False)
+
+    def capability(self) -> dict:
+        return {"ram_free": self.ram, "speed": self.speed, "slots": 1}
+
+
+def build_nodes() -> list[SimNode]:
+    return [
+        SimNode(name=f"{site}.n{n}", site=site, speed=speed, ram=ram)
+        for site, count, speed, ram in SITES
+        for n in range(count)
+    ]
+
+
+def build_jobs(count: int, seed: int = SEED) -> list[JobSpec]:
+    """A reproducible heavy-tailed stream in burst submit order.
+
+    Work sizes come from :func:`generate_job_stream` (Pareto, the grid
+    workload model used everywhere else in the repo); user, priority and
+    the big-memory flag ride on independent derived streams so the shape
+    of one never perturbs another.  Jobs are ordered heaviest user
+    first — the adversarial case for FIFO and the motivating case for
+    fair share.
+    """
+    stream = generate_job_stream(
+        JobStreamSpec(count=count, work_shape=1.5, work_minimum=5.0),
+        RandomStream(seed, "wms-work"),
+    )
+    users = RandomStream(seed, "wms-users")
+    shape = RandomStream(seed, "wms-shape")
+    jobs = [
+        JobSpec(
+            job_id=f"j{arrival.job.job_id}",
+            user=f"u{users.zipf_index(N_USERS, skew=USER_SKEW)}",
+            priority=shape.randint(0, 2),
+            work=arrival.job.work,
+            ram=BIG_RAM if shape.bernoulli(BIG_RAM_FRACTION) else SMALL_RAM,
+        )
+        for arrival in stream
+    ]
+    jobs.sort(key=lambda spec: spec.user)  # stable: burst order per user
+    return jobs
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = one user hogs."""
+    if not values or all(v == 0 for v in values):
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * sum(v * v for v in values))
+
+
+def _fairness(waits_by_user: dict[str, list[float]]) -> float:
+    """Jain over each user's time-to-first-FAIR_K-results."""
+    t_first_k = [
+        waits[min(FAIR_K, len(waits)) - 1]
+        for waits in waits_by_user.values()
+        if waits
+    ]
+    return round(jain_index(t_first_k), 4)
+
+
+def run_round_robin(jobs: list[JobSpec], nodes: list[SimNode]) -> dict:
+    """Push baseline: deal jobs to nodes in rotation, per-node FIFO.
+
+    The dealer skips memory-ineligible nodes (round-robin gets the same
+    placement constraint the matchmaker has), but it is speed-blind and
+    queue-blind: a 0.5x edge node receives as many jobs as a 4x hub.
+    """
+    start = time.perf_counter()
+    free = [0.0] * len(nodes)
+    waits: dict[str, list[float]] = defaultdict(list)
+    cursor = 0
+    for spec in jobs:
+        for probe in range(len(nodes)):
+            index = (cursor + probe) % len(nodes)
+            if nodes[index].ram >= spec.ram:
+                break
+        else:
+            raise AssertionError(f"no node fits {spec.job_id}")
+        cursor = (index + 1) % len(nodes)
+        waits[spec.user].append(free[index])
+        free[index] += spec.work / nodes[index].speed
+    elapsed = time.perf_counter() - start
+    makespan = max(free)
+    total_work = sum(spec.work for spec in jobs)
+    capacity = sum(node.speed for node in nodes)
+    return {
+        "case": "round_robin",
+        "jobs": len(jobs),
+        "makespan_s": round(makespan, 1),
+        "utilization": round(total_work / (makespan * capacity), 4),
+        "jain_first_results": _fairness(waits),
+        "sched_wall_s": round(elapsed, 2),
+    }
+
+
+def run_matchmaker(
+    jobs: list[JobSpec],
+    nodes: list[SimNode],
+    kill_site: str | None = None,
+    journal=None,
+) -> tuple[dict, WorkloadManager, dict]:
+    """Pull model: every node is a pilot claiming against the manager.
+
+    The event heap holds each live node's next-free time; popping the
+    earliest advances the simulated clock, reports the node's finished
+    job, and claims the next fitting one.  A node retires when its claim
+    comes back empty (nothing pending fits it).  With ``kill_site`` the
+    site dies once ~30% of the stream has completed: its nodes stop
+    mid-job, ``release_pilot`` requeues their leases, and when a dead
+    node's pop comes due it files a zombie report with its spent token.
+    """
+    start = time.perf_counter()
+    now = [0.0]
+    wms = WorkloadManager(
+        name="bench", clock=lambda: now[0], journal=journal, half_life=600.0
+    )
+    for spec in jobs:
+        wms.submit(spec)
+    kill_after = int(0.3 * len(jobs)) if kill_site else None
+    heap: list[tuple[float, int, SimNode]] = [
+        (0.0, index, node) for index, node in enumerate(nodes)
+    ]
+    heapq.heapify(heap)
+    held: dict[str, dict] = {}  # node -> grant in flight
+    waits: dict[str, list[float]] = defaultdict(list)
+    makespan = completed = requeued = 0
+    zombie_reports: list[dict] = []
+    while heap:
+        t, index, node = heapq.heappop(heap)
+        now[0] = max(now[0], t)
+        if node.dead:
+            grant = held.pop(node.name, None)
+            if grant is not None:  # the zombie's late report: token spent
+                zombie_reports.append(
+                    wms.complete(grant["job"]["job_id"], grant["token"])
+                )
+            continue
+        grant = held.pop(node.name, None)
+        if grant is not None:
+            wms.complete(grant["job"]["job_id"], grant["token"])
+            completed += 1
+            if kill_after is not None and completed >= kill_after:
+                kill_after = None
+                for victim in nodes:
+                    if victim.site == kill_site:
+                        victim.dead = True
+                        requeued += len(
+                            wms.release_pilot(victim.name, error="site killed")
+                        )
+                if node.dead:  # the kill just took this node out mid-pop
+                    continue
+        grants = wms.claim(
+            node.name, site=node.site, capability=node.capability()
+        )
+        if not grants:
+            continue  # nothing pending fits this node: it retires
+        grant = grants[0]
+        if grant["token"].endswith("#1"):
+            waits[grant["job"]["user"]].append(t)
+        held[node.name] = grant
+        duration = grant["job"]["work"] / node.speed
+        makespan = max(makespan, t + duration)
+        heapq.heappush(heap, (t + duration, index, node))
+    # Safety net: anything still pending (early-retired capacity) drains
+    # through an unconstrained pilot.  Zero in a healthy run.
+    drained = 0
+    while True:
+        grants = wms.claim("pilot.drain", count=64)
+        if not grants:
+            break
+        for grant in grants:
+            wms.complete(grant["job"]["job_id"], grant["token"])
+            drained += 1
+    elapsed = time.perf_counter() - start
+    total_work = sum(spec.work for spec in jobs)
+    capacity = sum(node.speed for node in nodes)
+    row = {
+        "case": "matchmaker" if kill_site is None else "chaos_site_kill",
+        "jobs": len(jobs),
+        "makespan_s": round(makespan, 1),
+        "utilization": round(total_work / (makespan * capacity), 4),
+        "jain_first_results": _fairness(waits),
+        "sched_wall_s": round(elapsed, 2),
+        "sched_jobs_per_s": round(len(jobs) / elapsed, 1),
+        "drained_after_retire": drained,
+    }
+    return row, wms, {"requeued": requeued, "zombies": zombie_reports}
+
+
+def run_chaos(jobs_count: int) -> dict:
+    """Kill hub1 mid-queue; prove conservation from the journal."""
+    jobs = build_jobs(jobs_count, seed=SEED + 1)
+    journal = MemoryJournal()
+    row, wms, chaos = run_matchmaker(
+        jobs, build_nodes(), kill_site="hub1", journal=journal
+    )
+    status = wms.status()
+    terminal = [e["job"] for e in journal.events if e["ev"] in ("done", "dead")]
+    lost = len(jobs) - (status["done"] + status["dead"])
+    duplicated = len(terminal) - len(set(terminal))
+    assert lost == 0, f"lost {lost} jobs after site kill"
+    assert duplicated == 0, f"{duplicated} duplicated terminal events"
+    assert status["dead"] == 0  # one failure each, max_attempts=3
+    assert chaos["requeued"] > 0, "kill landed before any leases were held"
+    assert all(
+        report.get("stale") or report.get("duplicate")
+        for report in chaos["zombies"]
+    ), "a zombie's late report was accepted"
+    row.update(
+        {
+            "killed_site": "hub1",
+            "requeued": chaos["requeued"],
+            "zombie_reports_bounced": len(chaos["zombies"]),
+            "lost": lost,
+            "duplicated": duplicated,
+        }
+    )
+    return row
+
+
+def run_durability(jobs_count: int) -> dict:
+    """Journal every op to disk, crash mid-queue, recover, drain."""
+    jobs = build_jobs(jobs_count, seed=SEED + 2)
+    with tempfile.TemporaryDirectory(prefix="bench-wms-") as tmp:
+        path = os.path.join(tmp, "wms.journal")
+        now = [0.0]
+        wms = WorkloadManager(clock=lambda: now[0], journal=FileJournal(path))
+        start = time.perf_counter()
+        ops = 0
+        for spec in jobs:
+            wms.submit(spec)
+            ops += 1
+        target_done = int(0.6 * len(jobs))
+        done = 0
+        while done < target_done:
+            grants = wms.claim("pilot.live", count=32)
+            ops += 1
+            for grant in grants:
+                wms.complete(grant["job"]["job_id"], grant["token"])
+                ops += 1
+                done += 1
+        in_flight = len(wms.claim("pilot.doomed", count=16))  # dies holding
+        ops += 1
+        elapsed = time.perf_counter() - start
+        journal_bytes = os.path.getsize(path)
+        events = len(FileJournal.read(path))
+        # Crash: the manager is dropped without close; recover from disk.
+        recover_start = time.perf_counter()
+        recovered = WorkloadManager.recover(path, clock=lambda: now[0])
+        recover_s = time.perf_counter() - recover_start
+        status = recovered.status()
+        assert status["done"] == done
+        assert status["claimed"] == 0  # the doomed pilot's leases requeued
+        assert status["pending"] == len(jobs) - done
+        # Replay-identical: a second recovery lands in the same state.
+        twice = WorkloadManager.recover(path, clock=lambda: now[0])
+        replay_identical = (
+            twice.status() == status
+            and twice.pending_jobs() == recovered.pending_jobs()
+        )
+        assert replay_identical
+        while True:
+            grants = recovered.claim("pilot.drain", count=64)
+            if not grants:
+                break
+            for grant in grants:
+                recovered.complete(grant["job"]["job_id"], grant["token"])
+        final = recovered.status()
+        assert final["done"] + final["dead"] == len(jobs)
+        recovered.close()
+        twice.close()
+    return {
+        "case": "durability",
+        "jobs": len(jobs),
+        "in_flight_at_crash": in_flight,
+        "journal_events": events,
+        "journal_mb": round(journal_bytes / 1e6, 2),
+        "journaled_ops_per_s": round(ops / elapsed, 1),
+        "recover_s": round(recover_s, 3),
+        "replay_identical": replay_identical,
+    }
+
+
+def run_experiment(quick: bool = False, jobs: int | None = None) -> dict:
+    if jobs is None:
+        jobs = QUICK_JOBS if quick else FULL_JOBS
+    stream = build_jobs(jobs)
+    nodes = build_nodes()
+    rr = run_round_robin(stream, nodes)
+    mm, wms, _ = run_matchmaker(stream, build_nodes())
+    status = wms.status()
+    assert status["done"] == jobs and status["pending"] == 0
+    chaos = run_chaos(QUICK_CHAOS_JOBS if quick else CHAOS_JOBS)
+    durability = run_durability(
+        QUICK_DURABILITY_JOBS if quick else DURABILITY_JOBS
+    )
+    report = {
+        "generated_by": "benchmarks/bench_wms.py",
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "matchmaker_vs_round_robin": {
+            "makespan_x": round(rr["makespan_s"] / mm["makespan_s"], 2),
+            "utilization_x": round(mm["utilization"] / rr["utilization"], 2),
+            "fairness_jain": {
+                "round_robin": rr["jain_first_results"],
+                "matchmaker": mm["jain_first_results"],
+            },
+        },
+        "chaos": {
+            "killed_site": chaos["killed_site"],
+            "requeued": chaos["requeued"],
+            "lost": chaos["lost"],
+            "duplicated": chaos["duplicated"],
+        },
+        "durability": {
+            "journaled_ops_per_s": durability["journaled_ops_per_s"],
+            "recover_s": durability["recover_s"],
+            "replay_identical": durability["replay_identical"],
+        },
+        "rows": [rr, mm, chaos, durability],
+        "notes": (
+            "1M Pareto(1.5) jobs (mean 15 CPU-s) over 8 sites / 32 nodes "
+            "with an 8x speed spread; 8% of jobs need 3 GiB RAM and only "
+            "the two hub sites fit them.  Users submit in bursts, "
+            "heaviest first (Zipf 1.1 over 8 users) — the adversarial "
+            "order for FIFO.  round_robin deals jobs to nodes in "
+            "rotation (skipping RAM-ineligible nodes); matchmaker runs "
+            "the same stream through WorkloadManager with every node "
+            "claiming work it fits, so placement follows speed and "
+            "memory instead of rotation.  makespan_x > 1 means the "
+            "matchmaker finishes the stream that many times sooner; "
+            "utilization is total work over makespan x aggregate speed.  "
+            "jain_first_results is Jain's index over each user's "
+            f"time-to-first-{FAIR_K}-results: fair share keeps light "
+            "users' first results early even behind a heavy burst.  The "
+            "chaos cell kills the hub1 site once 30% of a smaller "
+            "stream has completed: leases requeue exactly once, zombie "
+            "reports bounce off spent tokens, and the journal shows one "
+            "terminal event per job (lost=duplicated=0).  durability "
+            "journals every op to disk with FileJournal, crashes, and "
+            "recovers; recovering twice must land in the identical "
+            "state."
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_tables(quick: bool = False) -> list[dict]:
+    """run_all.py entry point: the four cells as printable rows."""
+    return run_experiment(quick)["rows"]
+
+
+def check_shape(report: dict) -> None:
+    headline = report["matchmaker_vs_round_robin"]
+    # The acceptance bar: matchmaking beats round-robin on BOTH axes.
+    assert headline["makespan_x"] > 1.0, report
+    assert headline["utilization_x"] > 1.0, report
+    assert headline["fairness_jain"]["matchmaker"] > (
+        headline["fairness_jain"]["round_robin"]
+    ), report
+    assert report["chaos"]["lost"] == 0 and report["chaos"]["duplicated"] == 0
+    assert report["durability"]["replay_identical"] is True
+
+
+@pytest.mark.wms
+@pytest.mark.slow
+@pytest.mark.benchmark(group="wms")
+def test_wms_quick(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_experiment(quick=True), rounds=1, iterations=1
+    )
+    # Quick mode runs the full pipeline at reduced scale; direction and
+    # invariants must already hold there.
+    check_shape(report)
+    save_table(
+        "wms",
+        "WMS: matchmaking vs round-robin, chaos kill, durability",
+        report["rows"],
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None)
+    cli = parser.parse_args()
+    result = run_experiment(quick=cli.quick, jobs=cli.jobs)
+    print(json.dumps(result, indent=2))
+    check_shape(result)

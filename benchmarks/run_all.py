@@ -7,9 +7,9 @@ this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
 
 ``--quick`` runs a smoke pass: experiments that support it (currently
-``fastpath``, ``concurrency``, ``shard`` and ``tests``) shrink their workloads so
-the whole sweep finishes in seconds — useful for CI and for checking
-nothing is broken before a full measurement run.
+``fastpath``, ``concurrency``, ``shard``, ``wms`` and ``tests``) shrink their
+workloads so the whole sweep finishes in seconds — useful for CI and for
+checking nothing is broken before a full measurement run.
 
 The ``tests`` profile runs the pytest suite in stages (it is not listed
 in the default sweep; ask for it by name).  Tier-1 runs twice, once per
@@ -131,6 +131,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_fastpath as fastpath
     import benchmarks.bench_obs as obs
     import benchmarks.bench_shard as shard
+    import benchmarks.bench_wms as wms
 
     quick = "--quick" in argv
     selected = [a for a in argv if a != "--quick"]
@@ -177,6 +178,10 @@ def main(argv: list[str]) -> int:
         "shard": lambda: [
             ("Shard: aggregate frames/s vs worker count",
              shard.run_tables(quick=quick)),
+        ],
+        "wms": lambda: [
+            ("WMS: matchmaking vs round-robin, chaos kill, durability",
+             wms.run_tables(quick=quick)),
         ],
         "gridlint": lambda: [
             ("Gridlint: invariant checks over src/repro", run_gridlint()),

@@ -29,9 +29,30 @@ __all__ = [
     "RoundRobinScheduler",
     "Scheduler",
     "SchedulerError",
+    "next_job_id",
+    "reset_job_ids",
 ]
 
 _job_ids = itertools.count(1)
+
+
+def next_job_id() -> int:
+    """Allocate the next auto-assigned job id."""
+    return next(_job_ids)
+
+
+def reset_job_ids(start: int = 1) -> None:
+    """Rewind the auto-id allocator.
+
+    Auto-assigned ids are a convenience for ad-hoc Jobs; anything that
+    claims bit-for-bit reproducibility (``workloads/generators.py``, the
+    benchmarks, the test suites via the ``job_id_counter`` fixture)
+    either passes explicit ids or resets this counter first, so the same
+    seed yields the same ids regardless of what ran earlier in the
+    process.
+    """
+    global _job_ids
+    _job_ids = itertools.count(start)
 
 
 class SchedulerError(Exception):
@@ -44,7 +65,7 @@ class Job:
 
     work: float  # CPU-seconds on a reference (speed 1.0) node
     ram: int = 0
-    job_id: int = field(default_factory=lambda: next(_job_ids))
+    job_id: int = field(default_factory=next_job_id)
 
     def __post_init__(self) -> None:
         if self.work < 0:

@@ -551,6 +551,39 @@ class Grid:
         return MpiJobResult(returns=returns, errors=errors, placement=placement)
 
     # ------------------------------------------------------------------
+    # Workload management
+    # ------------------------------------------------------------------
+
+    def attach_workload_manager(
+        self,
+        site: str,
+        journal: Optional[Any] = None,
+        **kwargs: Any,
+    ):
+        """Make ``site``'s proxy the grid's workload-management authority.
+
+        Creates a :class:`~repro.control.wms.WorkloadManager` (grid
+        clock, authority proxy's metrics registry) and attaches it: the
+        proxy then serves the JOB_QSUBMIT/JOB_CLAIM/JOB_STATUS/JOB_DONE
+        ops, and its failure detector requeues a dead pilot's claims.
+        Pass a ``journal`` (e.g. :class:`~repro.control.wms.FileJournal`)
+        for crash-recoverable durability; extra ``kwargs`` go to the
+        manager (``half_life``, ``backfill_limit``, ...).
+        """
+        from repro.control.wms import WorkloadManager
+
+        proxy = self.proxy_of(site)
+        wms = WorkloadManager(
+            name=f"wms.{site}",
+            clock=self.clock,
+            journal=journal,
+            metrics=proxy.obs.metrics,
+            **kwargs,
+        )
+        proxy.attach_wms(wms)
+        return wms
+
+    # ------------------------------------------------------------------
 
     def start_shard_frontend(
         self,

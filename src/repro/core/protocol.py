@@ -66,6 +66,15 @@ class Op:
     JOB_ACCEPTED = 401
     JOB_REJECTED = 402
     JOB_RESULT = 403
+    # -- workload manager (durable queue + pilot claims)
+    JOB_QSUBMIT = 410  # enqueue a JobSpec at the WMS authority
+    JOB_QUEUED = 411
+    JOB_CLAIM = 412  # pilot asks for work, carrying its capability
+    JOB_ASSIGN = 413
+    JOB_STATUS = 414  # queue counters, or one job's state
+    JOB_STATE = 415
+    JOB_DONE = 416  # attempt outcome report (ok or failed)
+    JOB_DONE_ACK = 417
     # -- MPI support (layer 4)
     MPI_START = 500  # create the application address space
     MPI_STARTED = 501
@@ -97,9 +106,13 @@ Op._names = {
 #: duplicated JOB_SUBMIT would execute the job twice and MPI_START /
 #: MPI_END mutate address-space state, so those are excluded and a caller
 #: must treat their timeouts as indeterminate rather than retry blindly.
+#: The workload-manager ops mutate state but carry their own dedup keys
+#: (JOB_QSUBMIT: job_id; JOB_CLAIM: claim_id; JOB_DONE: per-attempt
+#: token), so a duplicated delivery is absorbed at the authority.
 IDEMPOTENT_OPS = frozenset(
     {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK,
-     Op.OBS_DUMP, Op.SHARD_STATS}
+     Op.OBS_DUMP, Op.SHARD_STATS,
+     Op.JOB_QSUBMIT, Op.JOB_CLAIM, Op.JOB_STATUS, Op.JOB_DONE}
 )
 
 _extension_codes = itertools.count(1000)

@@ -25,11 +25,13 @@ One :class:`ProxyServer` fronts one site.  It owns:
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import threading
 from typing import Any, Callable, Optional
 
 from repro.control.failure import FailureDetector, PeerState
 from repro.control.retry import RetryError, RetryPolicy
+from repro.control.wms import JobSpec, WmsError, site_capability
 from repro.core.dispatch import DROP, DispatchPipeline
 from repro.core.multiplexer import GridRouter
 from repro.core.protocol import (
@@ -169,6 +171,11 @@ class ProxyServer:
         #: optional shard fleet fronting this proxy (REPRO_SHARDS); its
         #: per-worker registries fold into the OBS_DUMP view on demand
         self._shard_manager = None
+        #: optional workload manager (set by attach_wms): this proxy is
+        #: then the grid's queue authority for the JOB_QSUBMIT/JOB_CLAIM
+        #: /JOB_STATUS/JOB_DONE ops
+        self.wms = None
+        self._wms_claim_ids = itertools.count(1)
         #: retry policy for idempotent control requests (None disables)
         self.retry_policy = retry_policy or DEFAULT_REQUEST_RETRY
         #: peer health, fed by inbound traffic and tunnel-close events;
@@ -667,6 +674,37 @@ class ProxyServer:
         """
         self._shard_manager = manager
 
+    def attach_wms(self, wms) -> None:
+        """Adopt a :class:`~repro.control.wms.WorkloadManager`.
+
+        This proxy becomes the grid's queue authority: it serves the
+        JOB_QSUBMIT/JOB_CLAIM/JOB_STATUS/JOB_DONE ops (blocking — the
+        manager takes a lock and may journal to disk, neither of which
+        belongs on the event loop), and wires the failure detector so a
+        claiming peer's death releases its leases back to the queue.
+        """
+        if self.wms is not None:
+            raise ProxyError(
+                f"proxy {self.name!r} already has a workload manager"
+            )
+        self.wms = wms
+        pipe = self.pipeline
+        pipe.register(Op.JOB_QSUBMIT, self._handle_wms_submit, blocking=True)
+        pipe.register(Op.JOB_CLAIM, self._handle_wms_claim, blocking=True)
+        pipe.register(Op.JOB_STATUS, self._handle_wms_status, blocking=True)
+        pipe.register(Op.JOB_DONE, self._handle_wms_done, blocking=True)
+        self.health.on_dead.append(self._wms_pilot_lost)
+
+    def _wms_pilot_lost(self, peer: str) -> None:
+        """Requeue-on-site-death: a dead peer's claims return to the queue.
+
+        The detector fires this exactly once per alive→dead transition;
+        ``release_pilot`` is idempotent anyway (a peer that never
+        claimed, or already reported, releases nothing).
+        """
+        if self.wms is not None:
+            self.wms.release_pilot(peer, error=f"pilot {peer} declared dead")
+
     # ------------------------------------------------------------------
     # Layer 2: authentication and permissions
     # ------------------------------------------------------------------
@@ -832,6 +870,118 @@ class ProxyServer:
             task=task,
             cpu_seconds=elapsed,
         )
+
+    # ------------------------------------------------------------------
+    # Workload manager: authority handlers and pilot-side helpers
+    # ------------------------------------------------------------------
+
+    def _handle_wms_submit(self, message: ControlMessage, peer: str) -> ControlMessage:
+        try:
+            result = self.wms.submit(JobSpec.from_wire(message.body))
+        except WmsError as exc:
+            return message.reply(Op.ERROR, {"error": str(exc)})
+        return message.reply(Op.JOB_QUEUED, result)
+
+    def _handle_wms_claim(self, message: ControlMessage, peer: str) -> ControlMessage:
+        body = message.body
+        try:
+            # The pilot identity is the *authenticated* tunnel peer, not
+            # a body field: it is the name the failure detector will
+            # report dead, so leases key on it.
+            assigned = self.wms.claim(
+                pilot=peer,
+                site=body.get("site", ""),
+                capability=body.get("capability"),
+                count=int(body.get("count", 1)),
+                claim_id=body.get("claim_id"),
+                gap=body.get("gap"),
+            )
+        except WmsError as exc:
+            return message.reply(Op.ERROR, {"error": str(exc)})
+        return message.reply(Op.JOB_ASSIGN, {"assigned": assigned})
+
+    def _handle_wms_status(self, message: ControlMessage, peer: str) -> ControlMessage:
+        try:
+            result = self.wms.status(message.body.get("job_id"))
+        except WmsError as exc:
+            return message.reply(Op.ERROR, {"error": str(exc)})
+        return message.reply(Op.JOB_STATE, result)
+
+    def _handle_wms_done(self, message: ControlMessage, peer: str) -> ControlMessage:
+        body = message.body
+        try:
+            if body.get("ok", True):
+                result = self.wms.complete(
+                    body.get("job_id", ""), body.get("token", "")
+                )
+            else:
+                result = self.wms.fail(
+                    body.get("job_id", ""),
+                    body.get("token", ""),
+                    body.get("error", ""),
+                )
+        except WmsError as exc:
+            return message.reply(Op.ERROR, {"error": str(exc)})
+        return message.reply(Op.JOB_DONE_ACK, result)
+
+    def wms_submit(
+        self, authority: str, spec: JobSpec, timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Enqueue a job at the authority proxy (idempotent on job_id)."""
+        reply = self.request(authority, Op.JOB_QSUBMIT, spec.to_wire(), timeout=timeout)
+        return reply.body
+
+    def wms_claim(
+        self,
+        authority: str,
+        count: int = 1,
+        gap: Optional[float] = None,
+        timeout: float = 30.0,
+    ) -> list[dict[str, Any]]:
+        """Pilot-style claim: ask the authority for work this site fits.
+
+        The capability travels with the claim — compiled fresh from this
+        site's Layer-3 status — and a generated ``claim_id`` makes the
+        round trip idempotent: the retry policy may re-send the same
+        claim, and the authority will replay the same assignment.
+        """
+        body: dict[str, Any] = {
+            "site": self.site.name,
+            "capability": site_capability(self.local_status()),
+            "count": count,
+            "claim_id": f"{self.name}:c{next(self._wms_claim_ids)}",
+        }
+        if gap is not None:
+            body["gap"] = gap
+        reply = self.request(authority, Op.JOB_CLAIM, body, timeout=timeout)
+        return reply.body["assigned"]
+
+    def wms_done(
+        self,
+        authority: str,
+        job_id: str,
+        token: str,
+        ok: bool = True,
+        error: str = "",
+        timeout: float = 30.0,
+    ) -> dict[str, Any]:
+        """Report one attempt's outcome (idempotent on the claim token)."""
+        body: dict[str, Any] = {"job_id": job_id, "token": token, "ok": ok}
+        if error:
+            body["error"] = error
+        reply = self.request(authority, Op.JOB_DONE, body, timeout=timeout)
+        return reply.body
+
+    def wms_status(
+        self,
+        authority: str,
+        job_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> dict[str, Any]:
+        """Queue counters (default) or one job's state from the authority."""
+        body = {} if job_id is None else {"job_id": job_id}
+        reply = self.request(authority, Op.JOB_STATUS, body, timeout=timeout)
+        return reply.body
 
     # ------------------------------------------------------------------
     # Layer 4: MPI multiplexing

@@ -56,10 +56,15 @@ class JobStreamSpec:
 
 
 def generate_job_stream(spec: JobStreamSpec, rng: RandomStream) -> list[JobArrival]:
-    """A reproducible arrival-ordered job stream."""
+    """A reproducible arrival-ordered job stream.
+
+    Job ids are stream-scoped (1..count), not drawn from the scheduler's
+    process-global allocator: bit-for-bit reproducibility must not
+    depend on what else allocated ids earlier in the process.
+    """
     arrivals = []
     clock = 0.0
-    for _ in range(spec.count):
+    for index in range(spec.count):
         clock += rng.exponential(spec.mean_interarrival)
         arrivals.append(
             JobArrival(
@@ -67,6 +72,7 @@ def generate_job_stream(spec: JobStreamSpec, rng: RandomStream) -> list[JobArriv
                 job=Job(
                     work=rng.pareto(spec.work_shape, spec.work_minimum),
                     ram=spec.ram_bytes,
+                    job_id=index + 1,
                 ),
             )
         )

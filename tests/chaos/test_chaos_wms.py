@@ -1,0 +1,207 @@
+"""Chaos suite, workload-manager level: site death mid-queue.
+
+Two altitudes:
+
+* **Simulation level** — a seeded :class:`RandomStream` drives an
+  interleaved schedule of submits, claims, completions, failures and
+  pilot kills against a :class:`WorkloadManager` on a logical clock.
+  Everything is deterministic, so the assertion can be the strongest
+  one available: the same ``chaos_seed`` produces the *identical
+  journal*, event for event, and conservation holds at the end.
+* **Grid level** — a real three-site grid with the authority on site A
+  and pilots claiming over the wire; ``proxy.B`` is killed mid-queue
+  and the failure detector must hand its leases back exactly once
+  (the idempotency guard swallows the zombie's late report), after
+  which the surviving site drains the queue.  Real-thread timing makes
+  event order nondeterministic here, so this altitude asserts the
+  conservation invariants, not the order.
+"""
+
+import time
+
+import pytest
+
+from repro.control.wms import JobSpec, JobState, MemoryJournal, WorkloadManager
+from repro.core.grid import Grid
+from repro.simulation.randomness import RandomStream
+
+from tests.chaos.conftest import chaos_seeds, replaying
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow, pytest.mark.wms]
+
+
+def run_sim_schedule(seed: int) -> tuple[list[dict], dict]:
+    """One seeded schedule against a journaling manager; returns
+    (journal events, final status)."""
+    rng = RandomStream(seed, "chaos-wms")
+    ticks = iter(range(10_000))
+    journal = MemoryJournal()
+    wms = WorkloadManager(
+        clock=lambda: float(next(ticks)), journal=journal, half_life=50.0
+    )
+    pilots = ["pilot.B", "pilot.C", "pilot.D"]
+    outstanding: list[dict] = []
+    submitted = 0
+    for _ in range(120):
+        roll = rng.randint(0, 9)
+        if roll <= 3:  # submit
+            wms.submit(
+                JobSpec(
+                    job_id=f"j{submitted}",
+                    user=f"u{rng.randint(0, 2)}",
+                    priority=rng.randint(0, 2),
+                    work=float(rng.randint(1, 20)),
+                    max_attempts=2,
+                )
+            )
+            submitted += 1
+        elif roll <= 6:  # claim
+            grants = wms.claim(rng.choice(pilots), count=rng.randint(1, 3))
+            outstanding.extend(grants)
+        elif roll <= 7 and outstanding:  # report success
+            grant = outstanding.pop(rng.randint(0, len(outstanding) - 1))
+            wms.complete(grant["job"]["job_id"], grant["token"])
+        elif roll <= 8 and outstanding:  # report failure
+            grant = outstanding.pop(rng.randint(0, len(outstanding) - 1))
+            wms.fail(grant["job"]["job_id"], grant["token"], "injected")
+        else:  # site death: revoke every lease the pilot holds
+            victim = rng.choice(pilots)
+            released = set(wms.release_pilot(victim, error="site killed"))
+            outstanding = [
+                g for g in outstanding if g["job"]["job_id"] not in released
+            ]
+    # Drain: surviving capacity finishes everything still live.
+    for grant in outstanding:
+        wms.complete(grant["job"]["job_id"], grant["token"])
+    while True:
+        grants = wms.claim("pilot.drain", count=8)
+        if not grants:
+            break
+        for grant in grants:
+            wms.complete(grant["job"]["job_id"], grant["token"])
+    return journal.events, wms.status()
+
+
+def test_sim_schedule_conserves_jobs(chaos_seed):
+    """Kills, failures and requeues never lose or duplicate a job."""
+    with replaying(chaos_seed):
+        events, status = run_sim_schedule(chaos_seed)
+        assert status["done"] + status["dead"] == status["submitted"]
+        assert status["pending"] == 0 and status["claimed"] == 0
+        # Exactly one terminal event per job, ever — no duplicates.
+        terminal = [e["job"] for e in events if e["ev"] in ("done", "dead")]
+        assert len(terminal) == len(set(terminal)) == status["submitted"]
+        # max_attempts=2 bounds every job to at most one requeue.
+        requeues = [e["job"] for e in events if e["ev"] == "requeue"]
+        assert len(requeues) == len(set(requeues))
+
+
+@pytest.mark.parametrize("chaos_seed", chaos_seeds()[:2])
+def test_sim_schedule_replays_identically(chaos_seed):
+    """Same chaos_seed, same schedule, journal identical event-for-event."""
+    with replaying(chaos_seed):
+        events_a, status_a = run_sim_schedule(chaos_seed)
+        events_b, status_b = run_sim_schedule(chaos_seed)
+        assert events_a == events_b
+        assert status_a == status_b
+
+
+def test_grid_site_kill_mid_queue(chaos_seed):
+    """Kill a pilot proxy holding live claims: the failure detector
+    requeues its leases exactly once, the zombie's late report is
+    ignored, and the surviving site drains the queue."""
+    rng = RandomStream(chaos_seed, "chaos-wms-grid")
+    with replaying(chaos_seed):
+        grid = Grid()
+        grid.add_site("A", nodes=1)
+        grid.add_site("B", nodes=2)
+        grid.add_site("C", nodes=2)
+        grid.connect_all()
+        wms = grid.attach_workload_manager("A", half_life=60.0)
+        authority = grid.proxy_of("A").name
+        proxy_b, proxy_c = grid.proxy_of("B"), grid.proxy_of("C")
+        try:
+            total = 12 + rng.randint(0, 6)
+            for i in range(total):
+                proxy_b.wms_submit(
+                    authority,
+                    JobSpec(
+                        job_id=f"j{i}",
+                        user=f"u{i % 3}",
+                        work=float(1 + i % 5),
+                        max_attempts=3,
+                    ),
+                )
+            # B completes a seeded amount of work, then claims more and
+            # dies holding the leases.
+            for grant in proxy_b.wms_claim(authority, count=rng.randint(1, 4)):
+                proxy_b.wms_done(authority, grant["job"]["job_id"], grant["token"])
+            doomed = proxy_b.wms_claim(authority, count=rng.randint(2, 4))
+            assert doomed
+            proxy_b.shutdown()
+            deadline = time.monotonic() + 10.0
+            while wms.status()["pilots"].get(proxy_b.name):
+                assert time.monotonic() < deadline, "leases never released"
+                time.sleep(0.02)
+            # Requeued exactly once: attempts == 1 claim + nothing else.
+            for grant in doomed:
+                view = wms.status(grant["job"]["job_id"])
+                assert view["state"] in (JobState.PENDING, JobState.DEAD)
+                assert view["attempts"] == 1
+            # The zombie's late reports carry spent tokens — ignored.
+            for grant in doomed:
+                result = wms.complete(grant["job"]["job_id"], grant["token"])
+                assert result.get("stale") or result.get("duplicate")
+            # C drains everything that remains.
+            while True:
+                grants = proxy_c.wms_claim(authority, count=4)
+                if not grants:
+                    break
+                for grant in grants:
+                    proxy_c.wms_done(
+                        authority, grant["job"]["job_id"], grant["token"]
+                    )
+            status = proxy_c.wms_status(authority)
+            assert status["submitted"] == total
+            assert status["done"] == total  # zero lost, zero dead
+            assert status["pending"] == status["claimed"] == 0
+        finally:
+            grid.shutdown()
+
+
+def test_grid_repeated_failures_reach_dead_letter(chaos_seed):
+    """A job that fails at every site lands in the dead-letter set after
+    exactly max_attempts tries, and the queue stays drainable."""
+    with replaying(chaos_seed):
+        grid = Grid()
+        grid.add_site("A", nodes=1)
+        grid.add_site("B", nodes=1)
+        grid.connect_all()
+        grid.attach_workload_manager("A")
+        authority = grid.proxy_of("A").name
+        proxy_b = grid.proxy_of("B")
+        try:
+            proxy_b.wms_submit(
+                authority, JobSpec(job_id="cursed", max_attempts=2)
+            )
+            proxy_b.wms_submit(authority, JobSpec(job_id="fine"))
+            for attempt in (1, 2):
+                # FIFO head first; a failed attempt requeues at the
+                # front, so single claims return "cursed" both times.
+                [grant] = proxy_b.wms_claim(authority)
+                assert grant["token"] == f"cursed#{attempt}"
+                proxy_b.wms_done(
+                    authority, "cursed", grant["token"],
+                    ok=False, error="always breaks",
+                )
+            view = proxy_b.wms_status(authority, job_id="cursed")
+            assert view["state"] == JobState.DEAD
+            assert view["attempts"] == 2
+            # The healthy job is unaffected and still completes.
+            [grant] = proxy_b.wms_claim(authority)
+            assert grant["job"]["job_id"] == "fine"
+            proxy_b.wms_done(authority, "fine", grant["token"])
+            status = proxy_b.wms_status(authority)
+            assert status["dead"] == 1 and status["done"] == 1
+        finally:
+            grid.shutdown()

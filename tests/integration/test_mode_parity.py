@@ -159,6 +159,69 @@ def test_secure_tunnel_echo_identical_across_engines():
 
 
 # ---------------------------------------------------------------------------
+# Scenario 5: workload-manager ops (JOB_QSUBMIT/JOB_CLAIM/JOB_STATUS/JOB_DONE)
+# ---------------------------------------------------------------------------
+
+
+def _wms_scenario(grid: Grid):
+    from repro.control.wms import JobSpec
+
+    grid.add_site("A", nodes=1)
+    grid.add_site("B", nodes=2, node_speed=2.0)
+    grid.connect_all()
+    grid.attach_workload_manager("A", half_life=60.0)
+    authority = grid.proxy_of("A").name
+    pilot = grid.proxy_of("B")
+    submits = [
+        pilot.wms_submit(
+            authority,
+            JobSpec(job_id=f"j{i}", user=f"u{i % 2}", priority=i % 2,
+                    work=1.0 + i, max_attempts=2),
+        )
+        for i in range(6)
+    ]
+    duplicate = pilot.wms_submit(authority, JobSpec(job_id="j0"))
+    transcript = []
+    while True:
+        grants = pilot.wms_claim(authority, count=2)
+        if not grants:
+            break
+        for grant in grants:
+            job_id = grant["job"]["job_id"]
+            if grant["token"] == "j3#1":  # one injected failure: requeue path
+                ack = pilot.wms_done(
+                    authority, job_id, grant["token"], ok=False, error="boom"
+                )
+            else:
+                ack = pilot.wms_done(authority, job_id, grant["token"])
+            transcript.append((job_id, grant["token"], ack["state"]))
+    stale = pilot.wms_done(authority, "j3", "j3#1", ok=True)
+    return {
+        "submits": submits,
+        "duplicate": duplicate,
+        "transcript": transcript,
+        "stale": stale,
+        "job3": {
+            key: value
+            for key, value in pilot.wms_status(authority, job_id="j3").items()
+            if key in ("state", "attempts", "error")
+        },
+        "queue": pilot.wms_status(authority),
+    }
+
+
+def test_wms_ops_identical_across_engines():
+    outcome = _assert_parity(_both_modes(_wms_scenario))
+    assert outcome["duplicate"]["duplicate"] is True
+    assert outcome["stale"]["duplicate"] is True  # j3 finished on retry
+    assert outcome["queue"]["done"] == 6
+    assert outcome["queue"]["pending"] == outcome["queue"]["claimed"] == 0
+    # The claim order itself is part of the contract: priority tier 1
+    # first, fair-share alternation within a tier, j3 retried once.
+    assert ("j3", "j3#2", "done") in outcome["transcript"]
+
+
+# ---------------------------------------------------------------------------
 # Cross-cutting: OBS_DUMP works over both engines
 # ---------------------------------------------------------------------------
 

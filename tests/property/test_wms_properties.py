@@ -1,0 +1,177 @@
+"""Property-based tests for the workload manager.
+
+Three invariants the scheduler stakes its design on:
+
+* **Conservation.**  However submits, claims, completions and failures
+  interleave, every submitted job ends in exactly one terminal state
+  (done or dead-letter) once the queue is drained — and rebuilding the
+  manager from its journal mid-history loses nothing and duplicates
+  nothing.  Hypothesis searches the interleavings.
+* **No starvation.**  Fair share means a light user's jobs cannot wait
+  behind a heavy user's backlog indefinitely: the decayed-usage
+  ordering serves the least-served user first, so the light user's
+  whole queue drains within a bounded number of claims.
+* **Priority ordering.**  With no capability constraints, claims drain
+  strictly from the highest non-empty priority tier downward.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.wms import (
+    JobSpec,
+    JobState,
+    MemoryJournal,
+    WorkloadManager,
+)
+
+pytestmark = pytest.mark.wms
+
+
+def make_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+# One step of an interleaved history: an action and a pick index that
+# the interpreter maps onto whatever is actually outstanding.
+_histories = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "claim", "done", "fail"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+def _run_history(wms: WorkloadManager, history) -> int:
+    """Interpret a generated history against ``wms``; returns submits."""
+    submitted = 0
+    outstanding: list[dict] = []
+    for action, pick in history:
+        if action == "submit":
+            wms.submit(
+                JobSpec(
+                    job_id=f"j{submitted}",
+                    user=f"u{pick % 3}",
+                    priority=pick % 3,
+                    work=1.0 + pick,
+                    max_attempts=2,
+                )
+            )
+            submitted += 1
+        elif action == "claim":
+            outstanding.extend(wms.claim(f"p{pick % 2}", count=1 + pick % 2))
+        elif outstanding:
+            grant = outstanding.pop(pick % len(outstanding))
+            if action == "done":
+                wms.complete(grant["job"]["job_id"], grant["token"])
+            else:
+                wms.fail(grant["job"]["job_id"], grant["token"], "injected")
+    return submitted
+
+
+def _drain(wms: WorkloadManager) -> None:
+    """Complete everything outstanding and claimable."""
+    while True:
+        status = wms.status()
+        if status["pending"] == 0 and status["claimed"] == 0:
+            return
+        grants = wms.claim("drain", count=8)
+        for grant in grants:
+            wms.complete(grant["job"]["job_id"], grant["token"])
+        if not grants and status["claimed"] == 0:
+            raise AssertionError("pending jobs but nothing claimable")
+        if not grants:
+            # Jobs still held by history pilots: revoke their leases.
+            for pilot in list(wms.status()["pilots"]):
+                wms.release_pilot(pilot)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_histories)
+def test_conservation_after_drain(history):
+    """Every submitted job ends in exactly one terminal state."""
+    wms = WorkloadManager(clock=make_clock())
+    submitted = _run_history(wms, history)
+    _drain(wms)
+    status = wms.status()
+    assert status["submitted"] == submitted
+    assert status["done"] + status["dead"] == submitted
+    assert status["pending"] == 0 and status["claimed"] == 0
+    terminal = [wms.status(f"j{i}")["state"] for i in range(submitted)]
+    assert all(s in (JobState.DONE, JobState.DEAD) for s in terminal)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_histories)
+def test_conservation_survives_crash_replay(history):
+    """Rebuilding from the journal mid-history loses and duplicates nothing."""
+    journal = MemoryJournal()
+    wms = WorkloadManager(clock=make_clock(), journal=journal)
+    submitted = _run_history(wms, history)
+    # Crash here: replay the journal into a fresh manager.
+    rebuilt = WorkloadManager.replay(journal.events, clock=make_clock())
+    assert rebuilt.status() == wms.status()
+    assert rebuilt.pending_jobs() == wms.pending_jobs()
+    # A duplicated submit after replay is still absorbed.
+    if submitted:
+        assert rebuilt.submit(JobSpec(job_id="j0"))["duplicate"] is True
+    _drain(rebuilt)
+    status = rebuilt.status()
+    assert status["submitted"] == submitted
+    assert status["done"] + status["dead"] == submitted
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    light_jobs=st.integers(min_value=1, max_value=5),
+    heavy_work=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_no_starvation_under_fair_share(light_jobs, heavy_work):
+    """A light user's queue drains within a bounded number of claims.
+
+    The heavy user has 20 big jobs queued ahead; without fair share the
+    light user would wait for all of them.  With decayed-usage ordering
+    the light user is served as soon as their usage undercuts the
+    heavy user's, which happens within ``2 * light_jobs + 1`` claims.
+    """
+    wms = WorkloadManager(clock=make_clock(), half_life=1e9)
+    for i in range(20):
+        wms.submit(JobSpec(job_id=f"h{i}", user="heavy", work=heavy_work))
+    for i in range(light_jobs):
+        wms.submit(JobSpec(job_id=f"l{i}", user="light", work=1.0))
+    served_light = 0
+    for claim_number in range(1, 2 * light_jobs + 2):
+        [grant] = wms.claim("p")
+        wms.complete(grant["job"]["job_id"], grant["token"])
+        if grant["job"]["user"] == "light":
+            served_light += 1
+        if served_light == light_jobs:
+            break
+    assert served_light == light_jobs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    priorities=st.lists(
+        st.integers(min_value=0, max_value=4), min_size=1, max_size=20
+    )
+)
+def test_priority_ordering_under_unconstrained_claims(priorities):
+    """Claimed priorities are non-increasing when every job fits."""
+    wms = WorkloadManager(clock=make_clock())
+    for index, priority in enumerate(priorities):
+        wms.submit(JobSpec(job_id=f"j{index}", user=f"u{index % 2}",
+                           priority=priority))
+    claimed = []
+    while True:
+        grants = wms.claim("p")
+        if not grants:
+            break
+        claimed.append(grants[0]["job"]["priority"])
+        wms.complete(grants[0]["job"]["job_id"], grants[0]["token"])
+    assert claimed == sorted(priorities, reverse=True)

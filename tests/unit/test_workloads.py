@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.control.scheduler import Job, next_job_id, reset_job_ids
 from repro.simulation.randomness import RandomStream
 from repro.workloads.generators import (
     JobStreamSpec,
@@ -46,6 +47,36 @@ class TestJobStream:
             JobStreamSpec(count=0)
         with pytest.raises(ValueError):
             JobStreamSpec(mean_interarrival=0.0)
+
+    def test_job_ids_are_stream_scoped(self):
+        """Bit-for-bit reproducibility regression (issue 7 satellite).
+
+        Ids must not come from the scheduler's process-global allocator:
+        the same seed yields the same ids — including ids — no matter
+        what else allocated Jobs earlier in the process.
+        """
+        spec = JobStreamSpec(count=20)
+        a = generate_job_stream(spec, RandomStream(1, "jobs"))
+        Job(work=1.0)  # burn global allocator ids between the runs
+        Job(work=1.0)
+        b = generate_job_stream(spec, RandomStream(1, "jobs"))
+        assert [x.job for x in a] == [x.job for x in b]
+        assert [x.job.job_id for x in a] == list(range(1, 21))
+
+
+class TestJobIdReset:
+    def test_reset_restores_auto_id_sequence(self):
+        reset_job_ids()
+        first = [Job(work=1.0).job_id for _ in range(3)]
+        reset_job_ids()
+        second = [Job(work=1.0).job_id for _ in range(3)]
+        assert first == second == [1, 2, 3]
+
+    def test_reset_with_start(self):
+        reset_job_ids(start=100)
+        assert next_job_id() == 100
+        assert Job(work=1.0).job_id == 101
+        reset_job_ids()  # leave the allocator in a known state
 
 
 class TestTraces:
