@@ -7,7 +7,7 @@ this driver executes them in order and prints the same tables the
 pytest benchmarks save under benchmarks/results/.
 
 ``--quick`` runs a smoke pass: experiments that support it (currently
-``fastpath``, ``concurrency``, ``shard``, ``wms`` and ``tests``) shrink their
+``fastpath``, ``concurrency``, ``shard``, ``wms``, ``auth`` and ``tests``) shrink their
 workloads so the whole sweep finishes in seconds — useful for CI and for
 checking nothing is broken before a full measurement run.
 
@@ -127,6 +127,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_e10_multiproxy as e10
     import benchmarks.bench_e11_isolation as e11
     import benchmarks.bench_e12_owner_priority as e12
+    import benchmarks.bench_auth as auth
     import benchmarks.bench_concurrency as concurrency
     import benchmarks.bench_fastpath as fastpath
     import benchmarks.bench_obs as obs
@@ -182,6 +183,10 @@ def main(argv: list[str]) -> int:
         "wms": lambda: [
             ("WMS: matchmaking vs round-robin, chaos kill, durability",
              wms.run_tables(quick=quick)),
+        ],
+        "auth": lambda: [
+            ("Auth: token vs RSA decisions, handshake resumption, revocation",
+             auth.run_tables(quick=quick)),
         ],
         "gridlint": lambda: [
             ("Gridlint: invariant checks over src/repro", run_gridlint()),

@@ -16,10 +16,14 @@ safe to run:
    security posture for unauthenticated noise is silence, not errors).
 2. **authorize** — registered guards run before any handler; a guard can
    veto a message with a reply (e.g. "proxy is shutting down") or raise,
-   which becomes an ERROR reply.  Credential verification stays *inside*
-   the handlers that carry credentials — the paper checks them at the
-   destination proxy per-operation, and the denial op differs per
-   operation (AUTH_DENIED vs JOB_REJECTED).
+   which becomes an ERROR reply.  Under the token control plane this
+   stage is where per-request auth lives: :class:`TokenAuthGuard`
+   verifies the bearer token riding the control header (one HMAC + a
+   revocation-epoch check, LRU verdict cache — never asymmetric crypto;
+   gridlint GL105 enforces that budget).  Legacy *credential*
+   verification stays inside the handlers that carry credentials — the
+   paper checks them at the destination proxy per-operation, and the
+   denial op differs per operation (AUTH_DENIED vs JOB_REJECTED).
 3. **lookup** — the handler registry maps op → handler; ops registered
    ``blocking=True`` (job execution, DFS ops, any extension handler) are
    bounced to a **sized worker pool** so the event loop never stalls.
@@ -35,19 +39,27 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.protocol import ControlMessage, Op, ProtocolError
 from repro.obs.metrics import enabled as obs_enabled
 from repro.obs.trace import TraceContext, swap_trace
+from repro.security.tokens import Token, TokenError, TokenService
 from repro.transport.frames import Frame
 from repro.transport.reactor import on_reactor_thread
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import ObsHub
 
-__all__ = ["DROP", "DispatchPipeline", "Handler"]
+__all__ = [
+    "DROP",
+    "DispatchPipeline",
+    "GUARDED_OP_SCOPES",
+    "Handler",
+    "TokenAuthGuard",
+]
 
 #: Guard verdict for silent discard — the unauthorized-traffic posture.
 #: Returning a reply vetoes loudly; returning DROP vetoes silently.
@@ -349,3 +361,137 @@ class DispatchPipeline:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+
+#: Which ops require which token scope once the token plane is enabled.
+#: Everything that executes or mutates work is here; pure liveness and
+#: telemetry ops (PING, STATUS_QUERY, OBS_DUMP, …) stay open — they are
+#: how the grid notices problems, auth problems included.  AUTH_LOGIN /
+#: AUTH_REFRESH / AUTH_RLIST stay open by construction: they are how a
+#: principal *gets* a token.  AUTH_REVOKE requires a scope so a stolen
+#: user token cannot be used to revoke everyone else's.
+GUARDED_OP_SCOPES: dict[int, str] = {
+    Op.JOB_SUBMIT: "jobs:submit",
+    Op.JOB_QSUBMIT: "wms:submit",
+    Op.JOB_CLAIM: "wms:claim",
+    Op.JOB_STATUS: "wms:read",
+    Op.JOB_DONE: "wms:done",
+    Op.MPI_START: "mpi:start",
+    Op.MPI_END: "mpi:end",
+    Op.AUTH_REVOKE: "auth:revoke",
+}
+
+
+class TokenAuthGuard:
+    """Authorize-stage bearer-token check for guarded ops.
+
+    Installed with :meth:`DispatchPipeline.add_guard` when a proxy
+    attaches a :class:`~repro.security.tokens.TokenService`.  The guard
+    budget is strict — it runs on every guarded message, often on the
+    event-loop thread — so the verdict is one HMAC at worst and an LRU
+    cache hit at best, never an asymmetric-crypto call (gridlint GL105
+    walks the call graph from guards to enforce exactly that).
+
+    Cache correctness: an entry stores the revocation epoch it was
+    verified under.  Any revocation bumps the service epoch, so every
+    cached verdict self-invalidates on its next lookup; expiry and scope
+    are re-checked on hits (both are cheap claim reads, and expiry is a
+    property of the clock, not of the cached signature check).
+
+    On success the verified :class:`~repro.security.tokens.Token` is
+    stashed on the message as ``auth_claims`` for the handler — the
+    token path's replacement for the ``credential`` body field.
+    """
+
+    def __init__(
+        self,
+        service: TokenService,
+        scopes: Optional[dict[int, str]] = None,
+        obs: Optional["ObsHub"] = None,
+        cache_size: int = 4096,
+    ) -> None:
+        self.service = service
+        self.scopes = dict(GUARDED_OP_SCOPES if scopes is None else scopes)
+        self.cache_size = int(cache_size)
+        #: blob → (epoch verified under, parsed token); LRU by move-to-end
+        self._cache: "OrderedDict[bytes, tuple[int, Token]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self.obs = obs
+        # Instruments resolved once at construction (GL301).
+        metrics = obs.metrics if obs is not None else None
+        self._m_ok = metrics.counter("auth.token.ok") if metrics else None
+        self._m_denied = metrics.counter("auth.token.denied") if metrics else None
+        self._m_hits = metrics.counter("auth.token.cache_hits") if metrics else None
+        self._h_verify = metrics.histogram("auth.verify_s") if metrics else None
+
+    def _deny(self, message: ControlMessage, reason: str) -> ControlMessage:
+        if self._m_denied is not None:
+            self._m_denied.inc()
+        return message.reply(Op.AUTH_DENIED, {"error": reason})
+
+    def __call__(
+        self, message: ControlMessage, peer: str
+    ) -> Optional[ControlMessage]:
+        required = self.scopes.get(message.op)
+        if required is None:
+            return None
+        blob = message.auth
+        if not blob:
+            return self._deny(
+                message,
+                f"{Op.name_of(message.op)} requires a token "
+                f"with scope {required!r}",
+            )
+        epoch = self.service.epoch
+        with self._cache_lock:
+            entry = self._cache.get(blob)
+            if entry is not None and entry[0] == epoch:
+                self._cache.move_to_end(blob)
+                token: Optional[Token] = entry[1]
+            else:
+                token = None
+        if token is not None:
+            # Signature already proven; re-check the claims that can
+            # drift (clock moved past expiry, different op → scope).
+            try:
+                self.service.check_claims(token, required_scope=required)
+            except TokenError as exc:
+                with self._cache_lock:
+                    self._cache.pop(blob, None)
+                return self._deny(message, str(exc))
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            if self._m_ok is not None:
+                self._m_ok.inc()
+            message.auth_claims = token  # type: ignore[attr-defined]
+            return None
+        # Cache miss: the full verify, under a span + latency histogram.
+        obs = self.obs
+        span = None
+        if obs is not None and obs_enabled():
+            span = obs.spans.start(
+                "request.auth",
+                parent=TraceContext.from_wire(message.trace),
+                tags={"peer": peer, "op": Op.name_of(message.op)},
+            )
+        start = time.perf_counter()
+        try:
+            token = self.service.verify_blob(blob, required_scope=required)
+        except TokenError as exc:
+            if span is not None:
+                span.tags["error"] = str(exc)
+            return self._deny(message, str(exc))
+        finally:
+            if self._h_verify is not None:
+                self._h_verify.observe(time.perf_counter() - start)
+            if span is not None:
+                span.finish()
+        with self._cache_lock:
+            self._cache[blob] = (epoch, token)
+            self._cache.move_to_end(blob)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        if self._m_ok is not None:
+            self._m_ok.inc()
+        message.auth_claims = token  # type: ignore[attr-defined]
+        return None

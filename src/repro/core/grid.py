@@ -16,6 +16,7 @@ Two transports are supported:
 from __future__ import annotations
 
 import itertools
+import secrets
 import threading
 import time
 from typing import Any, Callable, Optional, Sequence
@@ -32,6 +33,7 @@ from repro.security.auth import AccessControlList, UserDirectory
 from repro.security.ca import CertificationAuthority
 from repro.security.rsa import RsaKeyPair
 from repro.security.tickets import TicketService
+from repro.security.tokens import TokenService, auth_mode
 from repro.transport.inproc import InprocFabric
 from repro.transport.reactor import (
     ReactorTcpListener,
@@ -104,6 +106,11 @@ class Grid:
         self._connected_pairs: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
         self._shard_managers: list[Any] = []
+        #: grid-wide HMAC token key (set by enable_token_auth); every
+        #: proxy's TokenService replica shares it, so a token minted at
+        #: one proxy verifies at all of them
+        self._token_key: Optional[bytes] = None
+        self._token_kwargs: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -148,6 +155,7 @@ class Grid:
             io=self.io,
         )
         proxy.ledger = self.ledger
+        self._attach_tokens(proxy)
         self._start_listening(proxy, address)
         self.sites[name] = site
         self.proxies[proxy_name] = proxy
@@ -184,6 +192,7 @@ class Grid:
             io=self.io,
         )
         proxy.ledger = self.ledger
+        self._attach_tokens(proxy)
         self._start_listening(proxy, address)
         self.proxies[proxy_name] = proxy
         return proxy
@@ -240,8 +249,11 @@ class Grid:
         # Dial with handshake retry: an interrupted handshake (chaos
         # faults, peer hiccup) redials a fresh channel instead of failing
         # the whole grid build.
+        # ``peer`` lets a reconnect offer the banked session ticket from
+        # an earlier handshake with that proxy (full handshake if none).
         proxy_a.connect_to_peer(
-            dial=lambda: self._dial(address), retry=self.handshake_retry
+            dial=lambda: self._dial(address), retry=self.handshake_retry,
+            peer=name_b,
         )
         # Handshake completion on the acceptor side is asynchronous; wait
         # for the reverse direction to register.
@@ -312,6 +324,114 @@ class Grid:
 
     def grant(self, principal: str, resource_pattern: str, action: str) -> None:
         self.acl.grant(principal, resource_pattern, action)
+
+    # ------------------------------------------------------------------
+    # Token control plane
+    # ------------------------------------------------------------------
+
+    def enable_token_auth(
+        self, lifetime: float = 900.0, **kwargs: Any
+    ) -> Optional[bytes]:
+        """Switch the grid to the token auth plane (login once → tokens).
+
+        Mints one grid-wide HMAC key and attaches a
+        :class:`~repro.security.tokens.TokenService` replica to every
+        proxy — current *and* future (sites added later auto-attach).
+        Replicas share the key, so a token issued at any proxy verifies
+        everywhere; their revocation lists start independent and
+        converge by heartbeat gossip.
+
+        Under ``REPRO_AUTH=legacy`` this is a no-op returning ``None``:
+        the grid keeps the seed's per-request RSA credential path,
+        byte-for-byte.  Otherwise returns the shared key (tests that
+        build a second grid against the same token universe need it;
+        pass ``key=...`` via ``kwargs`` to supply your own).
+        """
+        if auth_mode() == "legacy":
+            return None
+        if self._token_key is not None:
+            raise GridError("token auth is already enabled")
+        self._token_kwargs = dict(kwargs, lifetime=lifetime)
+        self._token_key = self._token_kwargs.pop(
+            "key", None
+        ) or secrets.token_bytes(32)
+        for proxy in self.proxies.values():
+            self._attach_tokens(proxy)
+        return self._token_key
+
+    def _attach_tokens(self, proxy: ProxyServer) -> None:
+        if self._token_key is None or proxy.tokens is not None:
+            return
+        service = TokenService(
+            self.users,
+            self.clock,
+            key=self._token_key,
+            issuer=proxy.name,
+            **self._token_kwargs,
+        )
+        proxy.attach_token_service(service)
+
+    def login(
+        self,
+        userid: str,
+        password: str,
+        via_site: Optional[str] = None,
+        scopes: Optional[Sequence[str]] = None,
+    ) -> bytes:
+        """Authenticate once at a site's proxy; returns the token blob."""
+        if not self.sites:
+            raise GridError("grid has no sites")
+        proxy = self.proxy_of(via_site or sorted(self.sites)[0])
+        if proxy.tokens is None:
+            raise GridError(
+                "token auth is not enabled (call enable_token_auth first)"
+            )
+        return proxy.tokens.login(userid, password, scopes=scopes).to_bytes()
+
+    def revoke_token(
+        self, token_blob: bytes, via_site: Optional[str] = None
+    ) -> int:
+        """Revoke one token at a site's proxy and gossip it immediately.
+
+        Returns that proxy's revocation epoch; the heartbeat it fans out
+        makes every peer pull the list within one round trip.
+        """
+        proxy = self.proxy_of(via_site or sorted(self.sites)[0])
+        if proxy.tokens is None:
+            raise GridError("token auth is not enabled")
+        proxy.tokens.revoke(token_blob)
+        proxy.send_heartbeats()
+        return proxy.tokens.epoch
+
+    def revoke_user(self, userid: str, via_site: Optional[str] = None) -> int:
+        """Revoke every outstanding token of ``userid`` grid-wide."""
+        proxy = self.proxy_of(via_site or sorted(self.sites)[0])
+        if proxy.tokens is None:
+            raise GridError("token auth is not enabled")
+        proxy.tokens.revoke_user(userid)
+        proxy.send_heartbeats()
+        return proxy.tokens.epoch
+
+    def submit_job_with_token(
+        self,
+        token_blob: bytes,
+        task: str,
+        params: Optional[dict] = None,
+        origin_site: Optional[str] = None,
+        target_site: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> Any:
+        """Token-plane job submission from ``origin_site``'s proxy."""
+        if not self.sites:
+            raise GridError("grid has no sites")
+        origin = origin_site or sorted(self.sites)[0]
+        return self.proxy_of(origin).submit_job_with_token(
+            token_blob,
+            task,
+            params=params,
+            target_site=target_site,
+            timeout=timeout,
+        )
 
     # ------------------------------------------------------------------
     # Jobs

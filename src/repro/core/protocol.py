@@ -61,6 +61,14 @@ class Op:
     AUTH_CHECK = 300  # validate a user credential at the destination
     AUTH_OK = 301
     AUTH_DENIED = 302
+    # -- token control plane (login once → HMAC bearer tokens)
+    AUTH_LOGIN = 310  # userid+password (or signature) → AUTH_TOKEN
+    AUTH_TOKEN = 311
+    AUTH_REFRESH = 312  # live token → fresh token with the same claims
+    AUTH_REVOKE = 313  # kill one token (or every token of a user)
+    AUTH_REVOKED = 314
+    AUTH_RLIST = 315  # anti-entropy pull of the revocation list
+    AUTH_RLIST_DATA = 316
     # -- jobs
     JOB_SUBMIT = 400
     JOB_ACCEPTED = 401
@@ -109,10 +117,16 @@ Op._names = {
 #: The workload-manager ops mutate state but carry their own dedup keys
 #: (JOB_QSUBMIT: job_id; JOB_CLAIM: claim_id; JOB_DONE: per-attempt
 #: token), so a duplicated delivery is absorbed at the authority.
+#: The token-control-plane ops are idempotent too: AUTH_LOGIN and
+#: AUTH_REFRESH mint a *fresh* token on every call (re-sending yields
+#: another equally-valid token, never a broken state), AUTH_REVOKE adds
+#: to a grow-only set, and AUTH_RLIST is a pure read — so retry policies
+#: may re-send all four blindly.
 IDEMPOTENT_OPS = frozenset(
     {Op.HELLO, Op.PING, Op.STATUS_QUERY, Op.LOCATE_RESOURCE, Op.AUTH_CHECK,
      Op.OBS_DUMP, Op.SHARD_STATS,
-     Op.JOB_QSUBMIT, Op.JOB_CLAIM, Op.JOB_STATUS, Op.JOB_DONE}
+     Op.JOB_QSUBMIT, Op.JOB_CLAIM, Op.JOB_STATUS, Op.JOB_DONE,
+     Op.AUTH_LOGIN, Op.AUTH_REFRESH, Op.AUTH_REVOKE, Op.AUTH_RLIST}
 )
 
 _extension_codes = itertools.count(1000)
@@ -150,6 +164,13 @@ class ControlMessage:
     originating proxy stamps it on requests, the dispatch pipeline
     copies it onto replies, and peers that predate it simply ignore the
     extra header key — the expandability the paper calls for.
+
+    ``auth`` rides the same expandable header: an opaque bearer-token
+    blob (:meth:`repro.security.tokens.Token.to_bytes`, which embeds the
+    delegation chain) stamped on guarded requests.  Like ``trace`` it is
+    advisory at this layer — a malformed value decodes to ``None`` and
+    the auth *decision* belongs to the dispatch guard.  Replies never
+    carry it: the credential authorises the request, not the answer.
     """
 
     op: int
@@ -158,6 +179,7 @@ class ControlMessage:
     reply_to: Optional[int] = None
     sender: str = ""
     trace: Optional[dict[str, str]] = None
+    auth: Optional[bytes] = None
 
     def is_reply(self) -> bool:
         return self.reply_to is not None
@@ -185,6 +207,8 @@ class ControlMessage:
             headers["reply_to"] = self.reply_to
         if self.trace is not None:
             headers["trace"] = self.trace
+        if self.auth is not None:
+            headers["auth"] = self.auth
         return Frame(
             kind=FrameKind.CONTROL, headers=headers, payload=encode_value(self.body)
         )
@@ -206,6 +230,9 @@ class ControlMessage:
         trace = frame.headers.get("trace")
         if not isinstance(trace, dict):
             trace = None  # advisory header: malformed context is dropped
+        auth = frame.headers.get("auth")
+        if not isinstance(auth, bytes):
+            auth = None  # ditto; the guard treats "absent" as "deny"
         return cls(
             op=op,
             body=body,
@@ -213,6 +240,7 @@ class ControlMessage:
             reply_to=frame.headers.get("reply_to"),
             sender=frame.headers.get("sender", ""),
             trace=trace,
+            auth=auth,
         )
 
     def __repr__(self) -> str:

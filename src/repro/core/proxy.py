@@ -32,7 +32,12 @@ from typing import Any, Callable, Optional
 from repro.control.failure import FailureDetector, PeerState
 from repro.control.retry import RetryError, RetryPolicy
 from repro.control.wms import JobSpec, WmsError, site_capability
-from repro.core.dispatch import DROP, DispatchPipeline
+from repro.core.dispatch import (
+    DROP,
+    GUARDED_OP_SCOPES,
+    DispatchPipeline,
+    TokenAuthGuard,
+)
 from repro.core.multiplexer import GridRouter
 from repro.core.protocol import (
     IDEMPOTENT_OPS,
@@ -55,7 +60,9 @@ from repro.security.auth import (
     UserDirectory,
 )
 from repro.security.certs import Certificate
+from repro.security.handshake import ResumptionTicket, SessionTicketKeeper
 from repro.security.rsa import RsaKeyPair
+from repro.security.tokens import Token, TokenError, TokenService, auth_mode
 from repro.transport.channel import Channel, Listener
 from repro.transport.errors import TransportError
 from repro.transport.frames import Frame, FrameKind
@@ -95,6 +102,12 @@ DEFAULT_REQUEST_RETRY = RetryPolicy(
     max_delay=0.5,
     retryable=(RequestTimeout, TunnelError),
 )
+
+#: Guarded ops the request path stamps with this proxy's *service* token
+#: automatically.  JOB_SUBMIT is excluded: it carries end-user identity,
+#: so callers must supply the user's (delegated) token explicitly — a
+#: service stamp there would launder user jobs into proxy identity.
+_AUTO_STAMP_OPS = frozenset(GUARDED_OP_SCOPES) - {Op.JOB_SUBMIT}
 
 
 class ProxyServer:
@@ -157,6 +170,22 @@ class ProxyServer:
         self._m_req_retries = _m.counter("request.retries")
         self._m_req_timeouts = _m.counter("request.timeouts")
         self._m_req_unavailable = _m.counter("request.peer_unavailable")
+        #: token control plane (set by attach_token_service); None means
+        #: the per-request RSA credential path is the only auth plane
+        self.tokens: Optional[TokenService] = None
+        self._token_guard: Optional[TokenAuthGuard] = None
+        self._service_token: Optional[Token] = None
+        self._service_blob: Optional[bytes] = None
+        #: revocation-gossip bookkeeping: peers we are already pulling
+        #: the revocation list from (dedups bursts of repoch heartbeats)
+        self._rlist_pulling: set[str] = set()
+        self._rlist_lock = threading.Lock()
+        self._m_auth_pulls = _m.counter("auth.rlist.pulls")
+        self._m_auth_merged = _m.counter("auth.rlist.merged")
+        #: handshake resumption: server-side ticket keeper plus the
+        #: client-side cache of tickets issued to us, keyed by peer name
+        self.ticket_keeper = SessionTicketKeeper(clock)
+        self._resumption: dict[str, ResumptionTicket] = {}
         #: the layered control-plane pipeline: decode → authorize →
         #: handler lookup → respond, blocking handlers on a sized pool
         self.pipeline = DispatchPipeline(
@@ -243,6 +272,7 @@ class ProxyServer:
                 self.certificate,
                 self.trust_anchor,
                 self.clock,
+                ticket_keeper=self.ticket_keeper,
             )
         except TunnelError:
             return  # unauthenticated peers are silently discarded
@@ -255,15 +285,24 @@ class ProxyServer:
         *,
         dial: Optional[Callable[[], Channel]] = None,
         retry: Optional[RetryPolicy] = None,
+        peer: Optional[str] = None,
     ) -> Tunnel:
         """Dial a peer proxy.
 
         Pass an established ``raw`` channel for a single handshake
         attempt, or a ``dial`` factory to retry interrupted handshakes on
         a fresh channel per attempt (see :meth:`Tunnel.dial_with_retry`).
+
+        ``peer`` is an optional *hint* naming who we expect to reach: if
+        a resumption ticket from an earlier handshake with that peer is
+        cached, it is offered and the dial skips the RSA/DH key exchange
+        (the server falls back to a full handshake if it declines).  The
+        tunnel still authenticates the peer — a hint can never pick the
+        wrong certificate, only waste one ticket offer.
         """
         if (raw is None) == (dial is None):
             raise ProxyError("connect_to_peer needs exactly one of raw/dial")
+        resumption = self._resumption.get(peer) if peer else None
         if dial is not None:
             tunnel = Tunnel.dial_with_retry(
                 dial,
@@ -274,6 +313,7 @@ class ProxyServer:
                 self.clock,
                 mode=mode,
                 retry=retry,
+                resumption=resumption,
             )
         else:
             tunnel = Tunnel.establish_client(
@@ -284,6 +324,7 @@ class ProxyServer:
                 self.trust_anchor,
                 self.clock,
                 mode=mode,
+                resumption=resumption,
             )
         self._install_tunnel(tunnel)
         # Introduce ourselves so the peer can map tunnel -> proxy name.
@@ -309,6 +350,11 @@ class ProxyServer:
         # only requests sent over *this* tunnel are affected.
         tunnel.on_close(self._cancel_inflight_for_peer)
         tunnel.bind_metrics(self.obs.metrics)
+        # Client side of a handshake: bank the session ticket (if the
+        # server issued one) so the *next* dial to this peer can resume.
+        ticket = tunnel.resumption_ticket
+        if ticket is not None:
+            self._resumption[tunnel.peer_name] = ticket
         with self._tunnel_lock:
             self._tunnels[tunnel.peer_name] = tunnel
         self.last_heard[tunnel.peer_name] = self.clock()
@@ -396,6 +442,7 @@ class ProxyServer:
         body: Optional[dict] = None,
         timeout: float = 30.0,
         retry: Optional[RetryPolicy] = None,
+        auth: Optional[bytes] = None,
     ) -> ControlMessage:
         """Send a control request to a peer and wait for the reply.
 
@@ -404,6 +451,11 @@ class ProxyServer:
         timeouts and tunnel send failures; ``timeout`` is the *total*
         deadline budget across attempts.  Everything else runs exactly
         once — a duplicated JOB_SUBMIT would execute twice.
+
+        ``auth`` is an opaque token blob stamped on the outgoing message
+        for the peer's :class:`TokenAuthGuard`.  When omitted and this
+        proxy has a token service, guarded infrastructure ops are
+        stamped with the proxy's own service token automatically.
 
         Every request runs inside a span: the span's context is stamped
         on the outgoing message, so the peer's handler span becomes its
@@ -418,7 +470,7 @@ class ProxyServer:
         try:
             with use_trace(span.context):
                 return self._request_with_retry(
-                    peer_proxy, op, body, timeout, retry
+                    peer_proxy, op, body, timeout, retry, auth
                 )
         except ProxyError as exc:
             span.tags["error"] = str(exc)
@@ -433,11 +485,12 @@ class ProxyServer:
         body: Optional[dict],
         timeout: float,
         retry: Optional[RetryPolicy],
+        auth: Optional[bytes] = None,
     ) -> ControlMessage:
         policy = retry if retry is not None else self.retry_policy
         idempotent = op in IDEMPOTENT_OPS
         if policy is None or not idempotent or policy.max_attempts <= 1:
-            return self._request_once(peer_proxy, op, body, timeout)
+            return self._request_once(peer_proxy, op, body, timeout, auth)
         # Each attempt gets an equal slice of the budget so a swallowed
         # request leaves room for its retries within ``timeout``.
         slice_timeout = timeout / policy.max_attempts
@@ -450,7 +503,11 @@ class ProxyServer:
             if attempts > 1:
                 self._m_req_retries.inc()
             return self._request_once(
-                peer_proxy, op, body, max(deadline.clamp(slice_timeout), 0.001)
+                peer_proxy,
+                op,
+                body,
+                max(deadline.clamp(slice_timeout), 0.001),
+                auth,
             )
 
         try:
@@ -459,7 +516,12 @@ class ProxyServer:
             raise exc.last
 
     def _request_once(
-        self, peer_proxy: str, op: int, body: Optional[dict], timeout: float
+        self,
+        peer_proxy: str,
+        op: int,
+        body: Optional[dict],
+        timeout: float,
+        auth: Optional[bytes] = None,
     ) -> ControlMessage:
         try:
             tunnel = self.tunnel_to(peer_proxy)
@@ -467,6 +529,10 @@ class ProxyServer:
             self._m_req_unavailable.inc()
             raise
         message = ControlMessage(op=op, body=body or {}, sender=self.name)
+        if auth is None and self.tokens is not None and op in _AUTO_STAMP_OPS:
+            auth = self._service_token_blob()
+        if auth is not None:
+            message.auth = auth
         ctx = current_trace()
         if ctx is not None:
             message.trace = ctx.to_wire()
@@ -654,6 +720,18 @@ class ProxyServer:
             for peer_name in tunnels
             if self.health.is_watching(peer_name)
         }
+        dump["auth"] = {
+            "mode": auth_mode(),
+            "token_service": self.tokens is not None,
+            "revocation_epoch": (
+                self.tokens.epoch if self.tokens is not None else 0
+            ),
+            "tickets": {
+                "issued": self.ticket_keeper.issued,
+                "redeemed": self.ticket_keeper.redeemed,
+                "rejected": self.ticket_keeper.rejected,
+            },
+        }
         if self._shard_manager is not None:
             # One folded snapshot for the whole worker fleet: per-worker
             # registries are collected over SHARD_STATS and summed here,
@@ -718,7 +796,9 @@ class ProxyServer:
         """Destination-side check of a credential signed by the peer proxy."""
         credential = Credential.from_bytes(blob)
         tunnel = self.tunnel_to(peer)
-        credential.verify(tunnel.peer_certificate.public_key, self.clock())
+        # The clock is passed as a callable so the freshness check reads
+        # the seeded simulation clock at the moment of verification.
+        credential.verify(tunnel.peer_certificate.public_key, self.clock)
         return credential
 
     def _handle_auth_check(self, message: ControlMessage, peer: str) -> ControlMessage:
@@ -734,6 +814,202 @@ class ProxyServer:
         except (AuthenticationError, PermissionDenied, KeyError) as exc:
             return message.reply(Op.AUTH_DENIED, {"reason": str(exc)})
         return message.reply(Op.AUTH_OK, {"userid": credential.userid})
+
+    # ------------------------------------------------------------------
+    # Layer 2b: token control plane (login once → HMAC bearer tokens)
+    # ------------------------------------------------------------------
+
+    def attach_token_service(self, service: TokenService, guard: bool = True) -> None:
+        """Adopt a :class:`~repro.security.tokens.TokenService`.
+
+        This proxy then serves the AUTH_LOGIN/AUTH_REFRESH/AUTH_REVOKE/
+        AUTH_RLIST ops and — unless ``guard`` is False or ``$REPRO_AUTH``
+        is ``legacy`` — installs a :class:`TokenAuthGuard` so guarded ops
+        (jobs, WMS, MPI) require a valid bearer token.  Login does PBKDF2
+        and token minting, and revoke fans heartbeats out to every
+        tunnel, so both run ``blocking``; refresh and the revocation-list
+        read are cheap HMAC/dict work and stay inline.
+        """
+        if self.tokens is not None:
+            raise ProxyError(f"proxy {self.name!r} already has a token service")
+        self.tokens = service
+        pipe = self.pipeline
+        pipe.register(Op.AUTH_LOGIN, self._handle_auth_login, blocking=True)
+        pipe.register(Op.AUTH_REFRESH, self._handle_auth_refresh)
+        pipe.register(Op.AUTH_REVOKE, self._handle_auth_revoke, blocking=True)
+        pipe.register(Op.AUTH_RLIST, self._handle_auth_rlist)
+        if guard and auth_mode() != "legacy":
+            self._token_guard = TokenAuthGuard(service, obs=self.obs)
+            pipe.add_guard(self._token_guard)
+
+    def _service_token_blob(self) -> Optional[bytes]:
+        """This proxy's own bearer token, re-minted shortly before expiry.
+
+        Stamped on guarded infrastructure requests (WMS claims, MPI
+        control) so proxy-to-proxy traffic passes peers' token guards
+        without a per-request login round trip.
+        """
+        service = self.tokens
+        if service is None:
+            return None
+        token = self._service_token
+        if token is None or token.expires_at - self.clock() < 30.0:
+            # Benign race: two threads may re-mint concurrently; both
+            # tokens are valid and the last write wins.
+            token = service.mint_service_token(self.name)
+            self._service_token = token
+            self._service_blob = token.to_bytes()
+        return self._service_blob
+
+    def _handle_auth_login(self, message: ControlMessage, peer: str) -> ControlMessage:
+        body = message.body
+        userid = body.get("userid", "")
+        scopes = body.get("scopes")
+        try:
+            if "signature" in body:
+                token = self.tokens.login_signature(
+                    userid,
+                    body.get("message", b""),
+                    body["signature"],
+                    scopes=scopes,
+                )
+            else:
+                token = self.tokens.login(
+                    userid, body.get("password", ""), scopes=scopes
+                )
+        except (AuthenticationError, TokenError) as exc:
+            return message.reply(Op.AUTH_DENIED, {"reason": str(exc)})
+        return message.reply(
+            Op.AUTH_TOKEN,
+            {"token": token.to_bytes(), "expires_at": token.expires_at},
+        )
+
+    def _handle_auth_refresh(self, message: ControlMessage, peer: str) -> ControlMessage:
+        try:
+            token = self.tokens.refresh(message.body.get("token", b""))
+        except TokenError as exc:
+            return message.reply(Op.AUTH_DENIED, {"reason": str(exc)})
+        return message.reply(
+            Op.AUTH_TOKEN,
+            {"token": token.to_bytes(), "expires_at": token.expires_at},
+        )
+
+    def _handle_auth_revoke(self, message: ControlMessage, peer: str) -> ControlMessage:
+        body = message.body
+        try:
+            if "token" in body:
+                changed = self.tokens.revoke(body["token"])
+            elif "userid" in body:
+                changed = self.tokens.revoke_user(body["userid"])
+            else:
+                return message.reply(
+                    Op.ERROR, {"error": "revoke needs a token or a userid"}
+                )
+        except TokenError as exc:
+            return message.reply(Op.ERROR, {"error": str(exc)})
+        if changed:
+            # Push the bumped epoch out now rather than waiting for the
+            # next heartbeat tick: peers see it and pull within one round
+            # trip, which is what bounds accept-after-revoke exposure.
+            self.send_heartbeats()
+        return message.reply(Op.AUTH_REVOKED, {"epoch": self.tokens.epoch})
+
+    def _handle_auth_rlist(self, message: ControlMessage, peer: str) -> ControlMessage:
+        return message.reply(
+            Op.AUTH_RLIST_DATA, {"rlist": self.tokens.rlist_wire()}
+        )
+
+    def auth_login(
+        self,
+        peer_proxy: str,
+        userid: str,
+        password: str,
+        scopes=None,
+        timeout: float = 30.0,
+    ) -> bytes:
+        """Log in at a remote proxy; returns the issued token blob."""
+        body: dict[str, Any] = {"userid": userid, "password": password}
+        if scopes is not None:
+            body["scopes"] = list(scopes)
+        reply = self.request(peer_proxy, Op.AUTH_LOGIN, body, timeout=timeout)
+        if reply.op != Op.AUTH_TOKEN:
+            raise AuthenticationError(
+                str(reply.body.get("reason", "login denied"))
+            )
+        return reply.body["token"]
+
+    def auth_refresh(
+        self, peer_proxy: str, token_blob: bytes, timeout: float = 30.0
+    ) -> bytes:
+        """Swap a live token for a fresh one at the issuing proxy."""
+        reply = self.request(
+            peer_proxy, Op.AUTH_REFRESH, {"token": token_blob}, timeout=timeout
+        )
+        if reply.op != Op.AUTH_TOKEN:
+            raise AuthenticationError(
+                str(reply.body.get("reason", "refresh denied"))
+            )
+        return reply.body["token"]
+
+    def auth_revoke(
+        self,
+        peer_proxy: str,
+        token_blob: Optional[bytes] = None,
+        userid: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> int:
+        """Revoke a token (or a user's whole fleet) at a remote proxy.
+
+        Returns the peer's revocation epoch after the revoke; gossip
+        carries it to the rest of the grid from there.
+        """
+        body: dict[str, Any] = {}
+        if token_blob is not None:
+            body["token"] = token_blob
+        if userid is not None:
+            body["userid"] = userid
+        reply = self.request(peer_proxy, Op.AUTH_REVOKE, body, timeout=timeout)
+        return int(reply.body.get("epoch", 0))
+
+    def _schedule_rlist_pull(self, peer: str) -> None:
+        """Bounce a revocation-list pull off the delivery thread.
+
+        Heartbeats arrive on the I/O loop; the pull is a blocking
+        request/reply, so it must run on the dispatch pool.  An in-flight
+        set dedups the burst of repoch heartbeats a revocation causes.
+        """
+        with self._rlist_lock:
+            if peer in self._rlist_pulling:
+                return
+            self._rlist_pulling.add(peer)
+        try:
+            self.pipeline.submit_blocking(
+                lambda: self._pull_revocations(peer)
+            )
+        except RuntimeError:
+            with self._rlist_lock:
+                self._rlist_pulling.discard(peer)
+
+    def _pull_revocations(self, peer: str) -> None:
+        """Anti-entropy pull: fetch the peer's revocation list and merge."""
+        try:
+            if self._closing.is_set() or self.tokens is None:
+                return
+            self._m_auth_pulls.inc()
+            try:
+                reply = self.request(peer, Op.AUTH_RLIST, timeout=10.0)
+            except ProxyError:
+                return  # peer died mid-pull; the next heartbeat retriggers
+            wire = reply.body.get("rlist")
+            if isinstance(wire, dict):
+                try:
+                    if self.tokens.merge_rlist(wire):
+                        self._m_auth_merged.inc()
+                except TokenError:
+                    pass  # malformed gossip is discarded, never fatal
+        finally:
+            with self._rlist_lock:
+                self._rlist_pulling.discard(peer)
 
     # ------------------------------------------------------------------
     # Layer 3: monitoring and jobs
@@ -780,8 +1056,18 @@ class ProxyServer:
         The origin proxy validates the user and the ACL; remote targets
         revalidate the credential and the ACL at the destination, exactly
         as the paper specifies.
+
+        With a token service attached (and the guard active), the legacy
+        signature is kept but the mechanics change: the password buys one
+        login, and the job travels under the resulting bearer token via
+        :meth:`submit_job_with_token` — no per-request RSA.
         """
         target_site = target_site or self.site.name
+        if self.tokens is not None and self._token_guard is not None:
+            token = self.tokens.login(userid, password)
+            return self.submit_job_with_token(
+                token.to_bytes(), task, params, target_site, timeout
+            )
         credential = self.authenticate_user(userid, password)
         self.acl.check(userid, f"site:{target_site}", "submit")
         if target_site == self.site.name:
@@ -816,18 +1102,91 @@ class ProxyServer:
             f"no proxy of site {target_site!r} reachable: {last_error}"
         )
 
+    def submit_job_with_token(
+        self,
+        token_blob: bytes,
+        task: str,
+        params: Optional[dict] = None,
+        target_site: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> Any:
+        """Login-once job path: authorise by bearer token, delegate to hop.
+
+        The origin checks the token (scope ``jobs:submit``) and the ACL;
+        a remote target receives an *attenuated* delegation — scoped to
+        job submission only and recording this proxy in the chain — so a
+        compromised destination cannot replay the user's full token.
+        """
+        service = self.tokens
+        if service is None:
+            raise ProxyError(f"proxy {self.name!r} has no token service")
+        target_site = target_site or self.site.name
+        claims = service.verify_blob(token_blob, required_scope="jobs:submit")
+        self.acl.check(claims.userid, f"site:{target_site}", "submit")
+        if target_site == self.site.name:
+            node = self.pick_node()
+            result, elapsed = self._timed_execute(node, task, params, timeout)
+            self._account(claims.userid, self.site.name, node, task, elapsed)
+            return result
+        delegated = service.delegate(
+            token_blob, delegate_to=self.name, scopes=("jobs:submit",)
+        )
+        body = {
+            "task": task,
+            "params": params or {},
+            "resource": f"site:{target_site}",
+            "origin": self.site.name,
+        }
+        last_error: Optional[ProxyError] = None
+        for peer in self.ranked_peers(self.directory.proxies_of_site(target_site)):
+            try:
+                reply = self.request(
+                    peer,
+                    Op.JOB_SUBMIT,
+                    body,
+                    timeout=timeout,
+                    auth=delegated.to_bytes(),
+                )
+            except ProxyError as exc:
+                last_error = exc
+                continue
+            if reply.op in (Op.JOB_REJECTED, Op.AUTH_DENIED):
+                reason = reply.body.get("reason") or reply.body.get("error")
+                raise ProxyError(f"job rejected by {peer!r}: {reason}")
+            return reply.body.get("result")
+        raise ProxyError(
+            f"no proxy of site {target_site!r} reachable: {last_error}"
+        )
+
     def _handle_job_submit(self, message: ControlMessage, peer: str) -> ControlMessage:
-        try:
-            credential = self._verify_remote_credential(
-                message.body["credential"], peer
-            )
-            self.acl.check(
-                credential.userid,
-                message.body.get("resource", f"site:{self.site.name}"),
-                "submit",
-            )
-        except (AuthenticationError, PermissionDenied, KeyError) as exc:
-            return message.reply(Op.JOB_REJECTED, {"reason": str(exc)})
+        claims: Optional[Token] = getattr(message, "auth_claims", None)
+        if claims is not None:
+            # Token plane: the guard already verified signature, expiry,
+            # revocation and the jobs:submit scope; re-checking the ACL
+            # here is the destination's own policy say (defense in
+            # depth — matching the paper's check-at-both-ends rule).
+            userid = claims.userid
+            try:
+                self.acl.check(
+                    userid,
+                    message.body.get("resource", f"site:{self.site.name}"),
+                    "submit",
+                )
+            except PermissionDenied as exc:
+                return message.reply(Op.JOB_REJECTED, {"reason": str(exc)})
+        else:
+            try:
+                credential = self._verify_remote_credential(
+                    message.body["credential"], peer
+                )
+                self.acl.check(
+                    credential.userid,
+                    message.body.get("resource", f"site:{self.site.name}"),
+                    "submit",
+                )
+            except (AuthenticationError, PermissionDenied, KeyError) as exc:
+                return message.reply(Op.JOB_REJECTED, {"reason": str(exc)})
+            userid = credential.userid
         try:
             node = self.pick_node()
             result, elapsed = self._timed_execute(
@@ -839,7 +1198,7 @@ class ProxyServer:
         except Exception as exc:
             return message.reply(Op.JOB_REJECTED, {"reason": f"execution: {exc}"})
         self._account(
-            credential.userid,
+            userid,
             message.body.get("origin", ""),
             node,
             message.body.get("task", "noop"),
@@ -1232,13 +1591,23 @@ class ProxyServer:
     # ------------------------------------------------------------------
 
     def send_heartbeats(self) -> None:
-        """Emit one heartbeat on every live tunnel (callers own the period)."""
+        """Emit one heartbeat on every live tunnel (callers own the period).
+
+        With a token service attached the heartbeat also carries this
+        proxy's revocation **epoch** (``repoch``) — the gossip digest.
+        Peers behind it pull the full list over AUTH_RLIST; peers without
+        the header (or without a token plane) ignore it, which is the
+        control protocol's expandable-header rule at work.
+        """
+        headers: dict[str, Any] = {"from": self.name}
+        if self.tokens is not None:
+            headers["repoch"] = self.tokens.epoch
         with self._tunnel_lock:
             tunnels = list(self._tunnels.values())
         for tunnel in tunnels:
             try:
                 tunnel.send(
-                    Frame(kind=FrameKind.HEARTBEAT, headers={"from": self.name})
+                    Frame(kind=FrameKind.HEARTBEAT, headers=dict(headers))
                 )
             except TunnelError:
                 pass
@@ -1275,6 +1644,14 @@ class ProxyServer:
     def _on_heartbeat(self, tunnel: Tunnel, frame: Frame) -> None:
         self.last_heard[tunnel.peer_name] = self.clock()
         self.health.heard_from(tunnel.peer_name)
+        if self.tokens is None:
+            return
+        repoch = frame.headers.get("repoch")
+        if isinstance(repoch, int) and repoch > self.tokens.epoch:
+            # The peer has revocations we lack.  This callback runs on
+            # the delivery thread, so the pull (a blocking request) is
+            # bounced onto the dispatch pool.
+            self._schedule_rlist_pull(tunnel.peer_name)
 
     # ------------------------------------------------------------------
 

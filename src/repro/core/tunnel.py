@@ -28,7 +28,9 @@ from repro.control.retry import RetryError, RetryPolicy
 from repro.security.certs import Certificate
 from repro.security.handshake import (
     HandshakeError,
+    ResumptionTicket,
     SecureChannel,
+    SessionTicketKeeper,
     accept_secure,
     connect_secure,
 )
@@ -107,8 +109,14 @@ class Tunnel:
         trust_anchor: RsaPublicKey,
         clock: Callable[[], float],
         mode: str = "dh",
+        resumption: Optional[ResumptionTicket] = None,
     ) -> "Tunnel":
-        """Dial-side tunnel establishment (handshake as client)."""
+        """Dial-side tunnel establishment (handshake as client).
+
+        ``resumption`` offers a session ticket from an earlier tunnel to
+        the same peer — accepted, the handshake skips its asymmetric
+        exchange; rejected, it falls back to the full exchange in-band.
+        """
         try:
             secure = connect_secure(
                 raw,
@@ -118,6 +126,7 @@ class Tunnel:
                 clock,
                 mode=mode,
                 expected_peer_role="proxy",
+                resumption=resumption,
             )
         except HandshakeError as exc:
             raw.close()
@@ -135,6 +144,7 @@ class Tunnel:
         clock: Callable[[], float],
         mode: str = "dh",
         retry: Optional[RetryPolicy] = None,
+        resumption: Optional[ResumptionTicket] = None,
     ) -> "Tunnel":
         """Dial-side establishment with handshake retry.
 
@@ -163,7 +173,8 @@ class Tunnel:
             except Exception as exc:
                 raise TunnelError(f"dial failed: {exc}") from exc
             return cls.establish_client(
-                raw, local_name, keypair, certificate, trust_anchor, clock, mode=mode
+                raw, local_name, keypair, certificate, trust_anchor, clock,
+                mode=mode, resumption=resumption,
             )
 
         try:
@@ -185,11 +196,14 @@ class Tunnel:
         clock: Callable[[], float],
         revocation_check: Optional[Callable[[Certificate], bool]] = None,
         expected_peer_role: str = "proxy",
+        ticket_keeper: Optional[SessionTicketKeeper] = None,
     ) -> "Tunnel":
         """Accept-side tunnel establishment (handshake as server).
 
         Peers are proxies by default; a site-local secure channel accepts
-        role ``"node"`` instead.
+        role ``"node"`` instead.  ``ticket_keeper`` turns on session
+        resumption: tickets are issued on full handshakes and redeemed
+        on later dials.
         """
         try:
             secure = accept_secure(
@@ -200,6 +214,7 @@ class Tunnel:
                 clock,
                 expected_peer_role=expected_peer_role,
                 revocation_check=revocation_check,
+                ticket_keeper=ticket_keeper,
             )
         except HandshakeError as exc:
             raw.close()
@@ -415,6 +430,16 @@ class Tunnel:
     def cipher_suite(self) -> str:
         """The record-cipher suite negotiated for this tunnel."""
         return self._secure.suite
+
+    @property
+    def resumed(self) -> bool:
+        """True when the handshake was a ticket resumption (no DH/RSA)."""
+        return getattr(self._secure, "resumed", False)
+
+    @property
+    def resumption_ticket(self) -> Optional[ResumptionTicket]:
+        """Ticket for the next dial to this peer, when the server issued one."""
+        return getattr(self._secure, "resumption_ticket", None)
 
     def close(self) -> None:
         self._running.clear()

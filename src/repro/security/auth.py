@@ -22,7 +22,7 @@ import hashlib
 import hmac
 import secrets
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from repro.security.rsa import RsaKeyPair, RsaPublicKey
 from repro.transport.frames import decode_value, encode_value
@@ -61,7 +61,11 @@ class UserDirectory:
     Passwords are salted PBKDF2-HMAC-SHA256; verification is constant-time.
     """
 
-    def __init__(self):
+    def __init__(self, pbkdf_iterations: int = _PBKDF_ITERATIONS) -> None:
+        # The iteration count is per-directory so benchmarks can build
+        # million-user stores without paying 10k rounds per add_user;
+        # the default (and every production path) is unchanged.
+        self._iterations = int(pbkdf_iterations)
         self._users: dict[str, _UserRecord] = {}
         self._groups: dict[str, set[str]] = {}
 
@@ -112,10 +116,9 @@ class UserDirectory:
         except KeyError:
             raise KeyError(f"unknown user: {userid!r}") from None
 
-    @staticmethod
-    def _hash(password: str, salt: bytes) -> bytes:
+    def _hash(self, password: str, salt: bytes) -> bytes:
         return hashlib.pbkdf2_hmac(
-            "sha256", password.encode("utf-8"), salt, _PBKDF_ITERATIONS
+            "sha256", password.encode("utf-8"), salt, self._iterations
         )
 
     # -- authentication --------------------------------------------------------
@@ -171,7 +174,7 @@ class AccessControlList:
     cannot resurrect a banned user.
     """
 
-    def __init__(self, directory: UserDirectory):
+    def __init__(self, directory: UserDirectory) -> None:
         self._directory = directory
         self._grants: list[tuple[str, str, str]] = []
         self._denies: list[tuple[str, str, str]] = []
@@ -231,7 +234,14 @@ class Credential:
     site per request.
     """
 
-    def __init__(self, userid: str, issuer: str, issued_at: float, payload: bytes, signature: bytes):
+    def __init__(
+        self,
+        userid: str,
+        issuer: str,
+        issued_at: float,
+        payload: bytes,
+        signature: bytes,
+    ) -> None:
         self.userid = userid
         self.issuer = issuer
         self.issued_at = issued_at
@@ -272,9 +282,22 @@ class Credential:
             raise AuthenticationError(f"malformed credential: {exc}") from exc
 
     def verify(
-        self, issuer_public: RsaPublicKey, now: float, max_age: float = 3600.0
+        self,
+        issuer_public: RsaPublicKey,
+        now: Union[float, Callable[[], float]],
+        max_age: float = 3600.0,
     ) -> None:
-        """Check signature and freshness."""
+        """Check signature and freshness.
+
+        ``now`` is a timestamp *or* a clock callable: callers that own a
+        seeded clock (proxies under the simulation transport) pass the
+        clock itself so freshness is read at verification time from the
+        same time source the chaos scheduler drives — wall-clock leaking
+        in here is exactly what gridlint GL401 exists to catch, and what
+        made replayed fault schedules time-sensitive.
+        """
+        if callable(now):
+            now = now()
         if not issuer_public.verify(self._payload, self.signature):
             raise AuthenticationError(
                 f"credential signature invalid (user {self.userid!r})"

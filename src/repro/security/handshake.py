@@ -28,6 +28,17 @@ After FINISH verification both ends hold directional
 :class:`SecureChannel` that seals *entire frames* (headers included) so
 tunnel observers see only record lengths — matching the paper's "traffic
 tunneling" design where the proxy encrypts whole flows, not payloads.
+
+**Session resumption** (TLS-session-ticket style, DESIGN.md §14.2): a
+server holding a :class:`SessionTicketKeeper` seals ``{master secret,
+peer certificate, suite}`` into an opaque ticket issued inside its
+FINISH.  A later dial presents the ticket in HELLO *alongside* the full
+offer; if the server redeems it, both ends derive fresh keys from the
+cached master plus the new randoms and exchange FINISH MACs — no DH, no
+RSA, two messages fewer.  Any rejection (expired, tampered, unknown STEK
+after a restart) falls back to the full handshake transparently, because
+the full offer already rode the same HELLO.  Each resumption rotates in
+a fresh ticket sealing the *new* master, so secrets ratchet forward.
 """
 
 from __future__ import annotations
@@ -55,7 +66,9 @@ from repro.transport.frames import (
 __all__ = [
     "HandshakeError",
     "PeerIdentity",
+    "ResumptionTicket",
     "SecureChannel",
+    "SessionTicketKeeper",
     "accept_secure",
     "connect_secure",
 ]
@@ -120,6 +133,11 @@ class SecureChannel(Channel):
         self._send_cipher = send_cipher
         self._recv_cipher = recv_cipher
         self.peer = peer
+        #: True when this channel was rebound from a resumption ticket
+        #: (no asymmetric exchange was paid for it).
+        self.resumed = False
+        #: Ticket for the *next* dial to this server, when one issued.
+        self.resumption_ticket: Optional["ResumptionTicket"] = None
 
     def send(self, frame: Frame) -> None:
         record = self._send_cipher.seal(encode_frame(frame))
@@ -195,6 +213,134 @@ class SecureChannel(Channel):
 
 
 # ---------------------------------------------------------------------------
+# Session resumption tickets
+# ---------------------------------------------------------------------------
+
+
+def _keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Counter-mode SHA-256 stream XOR (seal/open are the same op).
+
+    Tickets transit the *plaintext* handshake frames, and they contain
+    the master secret — they must be confidential, not just
+    authenticated.  Handshake-rate traffic only; the record path keeps
+    its vectorized suites.
+    """
+    blocks = []
+    for counter in range((len(data) + 31) // 32):
+        blocks.append(
+            hashlib.sha256(
+                key + nonce + counter.to_bytes(8, "big")
+            ).digest()
+        )
+    stream = b"".join(blocks)[: len(data)]
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class ResumptionTicket:
+    """Client-held resumption state from a completed handshake.
+
+    ``blob`` is opaque (sealed to the server's STEK); the rest is the
+    client's half of the cached session: the master secret to derive
+    fresh keys from, the negotiated suite, and the server certificate
+    the original handshake authenticated (resumption re-uses, never
+    re-proves, that identity).
+    """
+
+    __slots__ = ("blob", "master", "suite", "peer_cert")
+
+    def __init__(
+        self,
+        blob: bytes,
+        master: bytes,
+        suite: str,
+        peer_cert: Certificate,
+    ) -> None:
+        self.blob = blob
+        self.master = master
+        self.suite = suite
+        self.peer_cert = peer_cert
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResumptionTicket(peer={self.peer_cert.subject!r}, "
+            f"suite={self.suite!r}, {len(self.blob)}B)"
+        )
+
+
+class SessionTicketKeeper:
+    """Server-side session-ticket encryption key (a STEK) plus policy.
+
+    ``seal`` wraps ``{master, peer cert, suite, issued_at}`` into an
+    opaque, authenticated, encrypted blob; ``redeem`` opens one and
+    returns the state, or ``None`` for anything expired, tampered, or
+    sealed under a different key (e.g. before a server restart) — the
+    caller then simply runs the full handshake.  Stateless on the server
+    like TLS tickets: no session cache to size or shard.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        lifetime: float = 3600.0,
+        key: Optional[bytes] = None,
+    ) -> None:
+        self.clock = clock
+        self.lifetime = float(lifetime)
+        self._key = key if key is not None else secrets.token_bytes(32)
+        # Counters feed the auth benchmarks and observability dumps.
+        self.issued = 0
+        self.redeemed = 0
+        self.rejected = 0
+
+    def seal(self, master: bytes, peer_cert: bytes, suite: str) -> bytes:
+        state = encode_value(
+            {
+                "master": master,
+                "cert": peer_cert,
+                "suite": suite,
+                "iat": self.clock(),
+            }
+        )
+        nonce = secrets.token_bytes(16)
+        sealed = _keystream_xor(self._key, nonce, state)
+        mac = hmac.new(
+            self._key, b"ticket|" + nonce + sealed, hashlib.sha256
+        ).digest()
+        self.issued += 1
+        return encode_value({"n": nonce, "b": sealed, "m": mac})
+
+    def redeem(self, blob: bytes) -> Optional[dict]:
+        try:
+            outer = decode_value(blob)
+            nonce, sealed, mac = outer["n"], outer["b"], outer["m"]
+            expected = hmac.new(
+                self._key, b"ticket|" + nonce + sealed, hashlib.sha256
+            ).digest()
+            if not hmac.compare_digest(mac, expected):
+                raise ValueError("ticket MAC mismatch")
+            state = decode_value(_keystream_xor(self._key, nonce, sealed))
+            if not isinstance(state, dict):
+                raise ValueError("ticket state is not a dict")
+            if self.clock() - float(state["iat"]) > self.lifetime:
+                raise ValueError("ticket expired")
+        except Exception:
+            # Hostile or stale input: never an error, always a fallback.
+            self.rejected += 1
+            return None
+        self.redeemed += 1
+        return state
+
+
+def _resumed_master(
+    master: bytes, client_random: bytes, server_random: bytes
+) -> bytes:
+    """Ratchet the cached master forward with this dial's randoms."""
+    return hashlib.sha256(
+        b"resume|" + master + client_random + server_random
+    ).digest()
+
+
+# ---------------------------------------------------------------------------
 # Handshake driver
 # ---------------------------------------------------------------------------
 
@@ -261,12 +407,15 @@ def connect_secure(
     mode: str = "dh",
     expected_peer_role: Optional[str] = None,
     timeout: float = 30.0,
+    resumption: Optional[ResumptionTicket] = None,
 ) -> SecureChannel:
     """Run the client side of the handshake on ``channel``.
 
-    Every failure — protocol violation, malformed field, peer
-    disconnect — surfaces as :class:`HandshakeError`: handshake input is
-    untrusted by definition.
+    ``resumption`` offers a ticket from an earlier handshake with this
+    server; acceptance skips the asymmetric exchange, rejection falls
+    back to the full handshake on the same connection.  Every failure —
+    protocol violation, malformed field, peer disconnect — surfaces as
+    :class:`HandshakeError`: handshake input is untrusted by definition.
     """
     try:
         return _connect_secure(
@@ -278,6 +427,7 @@ def connect_secure(
             mode,
             expected_peer_role,
             timeout,
+            resumption,
         )
     except HandshakeError:
         raise
@@ -294,25 +444,32 @@ def _connect_secure(
     mode: str,
     expected_peer_role: Optional[str],
     timeout: float,
+    resumption: Optional[ResumptionTicket] = None,
 ) -> SecureChannel:
     if mode not in _MODES:
         raise HandshakeError(f"unknown key-exchange mode: {mode!r}")
     client_random = secrets.token_bytes(32)
-    channel.send(
-        _hs_frame(
-            "hello",
-            {
-                "random": client_random,
-                "modes": list(_MODES),
-                "preferred": mode,
-                # Record-suite offer; pre-fast-path servers ignore this key
-                # and reply without "cipher", selecting the legacy suite.
-                "ciphers": list(CIPHER_SUITES),
-            },
-        )
-    )
+    hello_body: dict = {
+        "random": client_random,
+        "modes": list(_MODES),
+        "preferred": mode,
+        # Record-suite offer; pre-fast-path servers ignore this key
+        # and reply without "cipher", selecting the legacy suite.
+        "ciphers": list(CIPHER_SUITES),
+    }
+    if resumption is not None:
+        # The ticket rides *alongside* the full offer, so a server that
+        # rejects it (or predates tickets) continues the full handshake
+        # without a second round trip.
+        hello_body["ticket"] = resumption.blob
+    channel.send(_hs_frame("hello", hello_body))
 
     server_hello = _expect(channel, "hello", timeout)
+    if resumption is not None and server_hello.get("resumed"):
+        return _finish_resumed_client(
+            channel, resumption, certificate, client_random, server_hello,
+            timeout,
+        )
     server_random = server_hello["random"]
     chosen = server_hello["mode"]
     if chosen not in _MODES:
@@ -373,13 +530,75 @@ def _connect_secure(
         )
     )
 
-    return SecureChannel(
+    secure = SecureChannel(
         inner=channel,
         send_cipher=RecordCipher(client_keys, suite=suite),
         recv_cipher=RecordCipher(server_keys, suite=suite),
         peer=PeerIdentity(server_cert),
         name=f"secure:{certificate.subject}->{server_cert.subject}",
     )
+    ticket_blob = finish.get("ticket")
+    if isinstance(ticket_blob, bytes):
+        secure.resumption_ticket = ResumptionTicket(
+            ticket_blob, master, suite, server_cert
+        )
+    return secure
+
+
+def _finish_resumed_client(
+    channel: Channel,
+    resumption: ResumptionTicket,
+    certificate: Certificate,
+    client_random: bytes,
+    server_hello: dict,
+    timeout: float,
+) -> SecureChannel:
+    """Complete a ticket-accepted handshake: derive, MAC, done.
+
+    Authentication here is possession of the cached master on both
+    sides: the server proved it by opening the ticket (sealed under its
+    STEK), the client by its FINISH MAC — both chains of custody start
+    at the original, certificate-authenticated handshake.
+    """
+    server_random = server_hello["random"]
+    suite = server_hello.get("cipher", resumption.suite)
+    if suite not in CIPHER_SUITES:
+        raise HandshakeError(f"server chose unknown cipher suite: {suite!r}")
+    master = _resumed_master(resumption.master, client_random, server_random)
+    client_keys = derive_session_keys(master, "client")
+    server_keys = derive_session_keys(master, "server")
+    transcript = _transcript_digest(
+        b"resume", client_random, server_random, resumption.blob
+    )
+    finish = _expect(channel, "finish", timeout)
+    expected_mac = hmac.new(
+        server_keys.mac_key, transcript, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(finish["mac"], expected_mac):
+        raise HandshakeError("server resumed-FINISH verification failed")
+    channel.send(
+        _hs_frame(
+            "finish",
+            {"mac": hmac.new(client_keys.mac_key, transcript, hashlib.sha256).digest()},
+        )
+    )
+    secure = SecureChannel(
+        inner=channel,
+        send_cipher=RecordCipher(client_keys, suite=suite),
+        recv_cipher=RecordCipher(server_keys, suite=suite),
+        peer=PeerIdentity(resumption.peer_cert),
+        name=(
+            f"secure:{certificate.subject}->{resumption.peer_cert.subject}"
+        ),
+    )
+    secure.resumed = True
+    new_blob = finish.get("ticket")
+    if isinstance(new_blob, bytes):
+        # Single-use rotation: the fresh ticket seals the *new* master.
+        secure.resumption_ticket = ResumptionTicket(
+            new_blob, master, suite, resumption.peer_cert
+        )
+    return secure
 
 
 def accept_secure(
@@ -391,12 +610,16 @@ def accept_secure(
     expected_peer_role: Optional[str] = None,
     timeout: float = 30.0,
     revocation_check: Optional[Callable[[Certificate], bool]] = None,
+    ticket_keeper: Optional[SessionTicketKeeper] = None,
 ) -> SecureChannel:
     """Run the server side of the handshake on ``channel``.
 
     ``revocation_check`` (cert → bool) lets a proxy consult the CA's
-    revocation list for client certificates.  All failures surface as
-    :class:`HandshakeError` (see :func:`connect_secure`).
+    revocation list for client certificates.  ``ticket_keeper`` enables
+    session resumption: full handshakes issue tickets, and a HELLO
+    presenting a redeemable ticket skips the asymmetric exchange.  All
+    failures surface as :class:`HandshakeError` (see
+    :func:`connect_secure`).
     """
     try:
         return _accept_secure(
@@ -408,6 +631,7 @@ def accept_secure(
             expected_peer_role,
             timeout,
             revocation_check,
+            ticket_keeper,
         )
     except HandshakeError:
         raise
@@ -424,9 +648,22 @@ def _accept_secure(
     expected_peer_role: Optional[str],
     timeout: float,
     revocation_check: Optional[Callable[[Certificate], bool]],
+    ticket_keeper: Optional[SessionTicketKeeper] = None,
 ) -> SecureChannel:
     hello = _expect(channel, "hello", timeout)
     client_random = hello["random"]
+    ticket_blob = hello.get("ticket")
+    if ticket_keeper is not None and isinstance(ticket_blob, bytes):
+        state = ticket_keeper.redeem(ticket_blob)
+        if state is not None:
+            resumed = _accept_resumed(
+                channel, certificate, state, client_random, ticket_blob,
+                ticket_keeper, expected_peer_role, revocation_check, timeout,
+            )
+            if resumed is not None:
+                return resumed
+            # Disqualified after redemption (role/suite/revocation):
+            # nothing was sent yet, so the full handshake proceeds.
     offered = hello.get("modes", [])
     preferred = hello.get("preferred", "dh")
     mode = preferred if preferred in _MODES and preferred in offered else "dh"
@@ -486,12 +723,16 @@ def _accept_secure(
     client_keys = derive_session_keys(master, "client")
     server_keys = derive_session_keys(master, "server")
 
-    channel.send(
-        _hs_frame(
-            "finish",
-            {"mac": hmac.new(server_keys.mac_key, transcript, hashlib.sha256).digest()},
+    finish_body: dict = {
+        "mac": hmac.new(server_keys.mac_key, transcript, hashlib.sha256).digest()
+    }
+    if ticket_keeper is not None:
+        # Issue the resumption ticket for this peer's next dial.  Old
+        # clients ignore the extra key.
+        finish_body["ticket"] = ticket_keeper.seal(
+            master, keyex["certificate"], suite
         )
-    )
+    channel.send(_hs_frame("finish", finish_body))
     finish = _expect(channel, "finish", timeout)
     expected_mac = hmac.new(client_keys.mac_key, transcript, hashlib.sha256).digest()
     if not hmac.compare_digest(finish["mac"], expected_mac):
@@ -504,3 +745,77 @@ def _accept_secure(
         peer=PeerIdentity(client_cert),
         name=f"secure:{certificate.subject}->{client_cert.subject}",
     )
+
+
+def _accept_resumed(
+    channel: Channel,
+    certificate: Certificate,
+    state: dict,
+    client_random: bytes,
+    ticket_blob: bytes,
+    ticket_keeper: SessionTicketKeeper,
+    expected_peer_role: Optional[str],
+    revocation_check: Optional[Callable[[Certificate], bool]],
+    timeout: float,
+) -> Optional[SecureChannel]:
+    """Serve a redeemed ticket; ``None`` (before any send) → full path.
+
+    The stored certificate was CA-validated at the original handshake;
+    within the ticket lifetime we re-check only what can have changed
+    out-of-band — expected role and explicit revocation.
+    """
+    try:
+        client_cert = Certificate.from_bytes(state["cert"])
+        suite = state["suite"]
+        cached_master = state["master"]
+    except Exception:
+        return None
+    if suite not in CIPHER_SUITES or not isinstance(cached_master, bytes):
+        return None
+    if expected_peer_role is not None and client_cert.role != expected_peer_role:
+        return None
+    if revocation_check is not None and revocation_check(client_cert):
+        return None
+
+    server_random = secrets.token_bytes(32)
+    master = _resumed_master(cached_master, client_random, server_random)
+    client_keys = derive_session_keys(master, "client")
+    server_keys = derive_session_keys(master, "server")
+    channel.send(
+        _hs_frame(
+            "hello",
+            {"resumed": True, "random": server_random, "cipher": suite},
+        )
+    )
+    transcript = _transcript_digest(
+        b"resume", client_random, server_random, ticket_blob
+    )
+    channel.send(
+        _hs_frame(
+            "finish",
+            {
+                "mac": hmac.new(
+                    server_keys.mac_key, transcript, hashlib.sha256
+                ).digest(),
+                # Rotate: the next dial resumes from the new master.
+                "ticket": ticket_keeper.seal(
+                    master, state["cert"], suite
+                ),
+            },
+        )
+    )
+    finish = _expect(channel, "finish", timeout)
+    expected_mac = hmac.new(
+        client_keys.mac_key, transcript, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(finish["mac"], expected_mac):
+        raise HandshakeError("client resumed-FINISH verification failed")
+    secure = SecureChannel(
+        inner=channel,
+        send_cipher=RecordCipher(server_keys, suite=suite),
+        recv_cipher=RecordCipher(client_keys, suite=suite),
+        peer=PeerIdentity(client_cert),
+        name=f"secure:{certificate.subject}->{client_cert.subject}",
+    )
+    secure.resumed = True
+    return secure

@@ -155,6 +155,57 @@ class Pair:
 """
 }
 
+_GL105_POSITIVE = {
+    "repro/core/guards.py": """\
+class RsaAuthGuard:
+    def __init__(self, public_key):
+        self.public_key = public_key
+
+    def __call__(self, message, peer):
+        if not self.public_key.verify(message.body, message.sig):
+            return message.reply(402, {})
+        return None
+"""
+}
+
+# HMAC in the guard is the sanctioned budget; RSA *off* the guard path
+# (login-time verification) must not trip the rule either.
+_GL105_NEGATIVE = {
+    "repro/core/guards.py": """\
+import hashlib
+import hmac
+
+
+class TokenAuthGuard:
+    def __init__(self, key):
+        self._key = key
+
+    def __call__(self, message, peer):
+        mac = hmac.new(self._key, message.body, hashlib.sha256).digest()
+        if not hmac.compare_digest(mac, message.sig):
+            return message.reply(402, {})
+        return None
+
+
+class LoginService:
+    def login(self, public_key, blob, sig):
+        # Per-login RSA is fine: it runs once, not per message.
+        return public_key.verify(blob, sig)
+"""
+}
+
+_GL105_SUPPRESSED = {
+    "repro/core/guards.py": """\
+class LegacyRsaGuard:
+    def __init__(self, public_key):
+        self.public_key = public_key
+
+    def __call__(self, message, peer):
+        self.public_key.verify(message.body, message.sig)  # gridlint: disable=GL105 -- fixture: legacy-mode gate on one low-rate admin op
+        return None
+"""
+}
+
 _GL201_POSITIVE = {
     "repro/core/protocol.py": """\
 class Op:
@@ -331,6 +382,11 @@ FIXTURES: dict[str, dict[str, dict[str, str]]] = {
         "negative": _GL104_NEGATIVE,
         "suppressed": _GL104_SUPPRESSED,
     },
+    "GL105": {
+        "positive": _GL105_POSITIVE,
+        "negative": _GL105_NEGATIVE,
+        "suppressed": _GL105_SUPPRESSED,
+    },
     "GL201": {
         "positive": _GL201_POSITIVE,
         "negative": _GL201_NEGATIVE,
@@ -392,6 +448,25 @@ def test_justified_suppression_silences_rule(tmp_path, code):
 # ---------------------------------------------------------------------------
 # Rule-specific sharp edges
 # ---------------------------------------------------------------------------
+
+
+def test_gl105_add_guard_function_chain(tmp_path):
+    """RSA reached through a helper chain from add_guard() is caught."""
+    files = {
+        "repro/core/svc.py": """\
+class Service:
+    def wire(self, pipe):
+        pipe.add_guard(self._check_rsa)
+
+    def _check_rsa(self, message, peer):
+        return self._verify(message)
+
+    def _verify(self, message):
+        return self.keypair.sign(message.body)
+"""
+    }
+    result = lint(tmp_path, files, select={"GL105"})
+    assert "GL105" in codes_of(result), render_text(result)
 
 
 def test_gl101_blocking_dispatch_handlers_are_exempt(tmp_path):

@@ -1,0 +1,276 @@
+"""Session-ticket resumption tests for the secure handshake.
+
+A full handshake issues an opaque ticket inside the server FINISH; a
+later dial presents it in HELLO and, if the server redeems it, both
+ends skip the asymmetric exchange entirely.  Any rejection must fall
+back to the full handshake on the same connection — resumption is an
+optimisation, never a new failure mode.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.security.ca import CertificationAuthority
+from repro.security.handshake import (
+    HandshakeError,
+    ResumptionTicket,
+    SessionTicketKeeper,
+    accept_secure,
+    connect_secure,
+)
+from repro.security.rsa import RsaKeyPair
+from repro.transport.frames import Frame, FrameKind
+from repro.transport.inproc import channel_pair
+
+KEY_BITS = 512
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def client_key():
+    return RsaKeyPair.generate(KEY_BITS)
+
+
+@pytest.fixture(scope="module")
+def server_key():
+    return RsaKeyPair.generate(KEY_BITS)
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def ca(clock):
+    return CertificationAuthority(key_bits=KEY_BITS, clock=clock)
+
+
+@pytest.fixture()
+def keeper(clock):
+    return SessionTicketKeeper(clock)
+
+
+def run_handshake(
+    ca,
+    clock,
+    client_key,
+    server_key,
+    keeper=None,
+    resumption=None,
+    **server_kwargs,
+):
+    """Drive both ends over an in-process pair; returns (client, server)."""
+    client_cert = ca.issue("proxy.siteA", "proxy", client_key.public)
+    server_cert = ca.issue("proxy.siteB", "proxy", server_key.public)
+    a, b = channel_pair("hs-resume")
+    result = {}
+
+    def server():
+        try:
+            result["server"] = accept_secure(
+                b,
+                server_key,
+                server_cert,
+                ca.public_key,
+                clock,
+                ticket_keeper=keeper,
+                **server_kwargs,
+            )
+        except Exception as exc:
+            result["error"] = exc
+            b.close()  # unblock the client instead of letting it time out
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    try:
+        client = connect_secure(
+            a,
+            client_key,
+            client_cert,
+            ca.public_key,
+            clock,
+            resumption=resumption,
+        )
+    except Exception:
+        a.close()  # unblock the server thread
+        raise
+    thread.join(timeout=10.0)
+    return client, result["server"]
+
+
+def assert_round_trip(client, server):
+    client.send(Frame(kind=FrameKind.CONTROL, headers={"op": "PING"}))
+    assert server.recv(timeout=5.0).headers == {"op": "PING"}
+    server.send(Frame(kind=FrameKind.CONTROL, headers={"op": "PONG"}))
+    assert client.recv(timeout=5.0).headers == {"op": "PONG"}
+
+
+class TestTicketIssue:
+    def test_full_handshake_banks_a_ticket(self, ca, clock, client_key, server_key, keeper):
+        client, server = run_handshake(ca, clock, client_key, server_key, keeper)
+        assert client.resumed is False
+        ticket = client.resumption_ticket
+        assert isinstance(ticket, ResumptionTicket)
+        assert ticket.peer_cert.subject == "proxy.siteB"
+        assert keeper.issued == 1
+        assert_round_trip(client, server)
+
+    def test_no_keeper_no_ticket(self, ca, clock, client_key, server_key):
+        client, _ = run_handshake(ca, clock, client_key, server_key, keeper=None)
+        assert client.resumption_ticket is None
+
+
+class TestResumption:
+    def test_resumed_dial_skips_asymmetric_path(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        second, server = run_handshake(
+            ca, clock, client_key, server_key, keeper,
+            resumption=first.resumption_ticket,
+        )
+        assert second.resumed is True
+        assert server.resumed is True
+        assert second.peer.subject == "proxy.siteB"
+        assert keeper.redeemed == 1
+        assert_round_trip(second, server)
+
+    def test_each_resumption_rotates_the_ticket(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        client, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        seen = {client.resumption_ticket.blob}
+        for _ in range(3):
+            client, _ = run_handshake(
+                ca, clock, client_key, server_key, keeper,
+                resumption=client.resumption_ticket,
+            )
+            assert client.resumed is True
+            assert client.resumption_ticket is not None
+            assert client.resumption_ticket.blob not in seen
+            seen.add(client.resumption_ticket.blob)
+        assert keeper.redeemed == 3
+
+    def test_resumed_channel_keys_ratchet(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        second, _ = run_handshake(
+            ca, clock, client_key, server_key, keeper,
+            resumption=first.resumption_ticket,
+        )
+        # The rotated ticket seals a *new* master, not the cached one.
+        assert second.resumption_ticket.master != first.resumption_ticket.master
+
+
+class TestFallback:
+    def test_expired_ticket_falls_back_to_full(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        clock.now += keeper.lifetime + 1.0
+        client, server = run_handshake(
+            ca, clock, client_key, server_key, keeper,
+            resumption=first.resumption_ticket,
+        )
+        assert client.resumed is False
+        assert keeper.rejected == 1
+        assert_round_trip(client, server)
+
+    def test_garbage_ticket_falls_back(self, ca, clock, client_key, server_key, keeper):
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        bogus = ResumptionTicket(
+            b"not-a-ticket",
+            first.resumption_ticket.master,
+            first.resumption_ticket.suite,
+            first.resumption_ticket.peer_cert,
+        )
+        client, server = run_handshake(
+            ca, clock, client_key, server_key, keeper, resumption=bogus
+        )
+        assert client.resumed is False
+        assert keeper.rejected == 1
+        assert_round_trip(client, server)
+
+    def test_server_restart_invalidates_tickets(
+        self, ca, clock, client_key, server_key
+    ):
+        keeper1 = SessionTicketKeeper(clock)
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper1)
+        keeper2 = SessionTicketKeeper(clock)  # fresh STEK after "restart"
+        client, server = run_handshake(
+            ca, clock, client_key, server_key, keeper2,
+            resumption=first.resumption_ticket,
+        )
+        assert client.resumed is False
+        assert keeper2.rejected == 1
+        assert_round_trip(client, server)
+
+    def test_bad_cached_suite_disqualifies_after_redeem(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        # A ticket that redeems but carries an unusable cached suite is
+        # disqualified *before any send*, so the full handshake proceeds
+        # cleanly on the same connection.
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        cert_bytes = ca.issue(
+            "proxy.siteA", "proxy", client_key.public
+        ).to_bytes()
+        stale = ResumptionTicket(
+            keeper.seal(b"m" * 32, cert_bytes, "no-such-suite"),
+            first.resumption_ticket.master,
+            first.resumption_ticket.suite,
+            first.resumption_ticket.peer_cert,
+        )
+        client, server = run_handshake(
+            ca, clock, client_key, server_key, keeper, resumption=stale
+        )
+        assert client.resumed is False
+        assert keeper.redeemed == 1  # it *did* redeem, then got vetoed
+        assert_round_trip(client, server)
+
+    def test_tampered_master_fails_loudly(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        # A client whose cached master diverges (simulated corruption)
+        # must not silently negotiate garbage keys: the FINISH MACs
+        # disagree and the handshake errors out.
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        corrupt = ResumptionTicket(
+            first.resumption_ticket.blob,
+            b"\x00" * 32,
+            first.resumption_ticket.suite,
+            first.resumption_ticket.peer_cert,
+        )
+        with pytest.raises(HandshakeError, match="FINISH"):
+            run_handshake(
+                ca, clock, client_key, server_key, keeper, resumption=corrupt
+            )
+
+
+class TestKeeper:
+    def test_redeem_counts(self, keeper):
+        assert keeper.redeem(b"junk") is None
+        assert keeper.rejected == 1
+        blob = keeper.seal(b"m" * 32, b"cert-bytes", "sha256ctr")
+        state = keeper.redeem(blob)
+        assert state is not None
+        assert state["master"] == b"m" * 32
+        assert keeper.issued == 1
+        assert keeper.redeemed == 1
+
+    def test_ticket_blob_hides_master(self, keeper):
+        master = b"super-secret-master-secret-32byt"
+        blob = keeper.seal(master, b"cert-bytes", "sha256ctr")
+        assert master not in blob

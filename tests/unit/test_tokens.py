@@ -1,0 +1,302 @@
+"""Unit tests for the token auth control plane (security/tokens.py).
+
+Covers the ISSUE-8 contract: expiry, refresh, revocation epoch
+semantics (including concurrent-revoke CRDT merges), delegation
+attenuation, and tamper rejection — all on a hand-cranked clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security.auth import AuthenticationError, UserDirectory
+from repro.security.rsa import RsaKeyPair
+from repro.security.tokens import (
+    MAX_DELEGATION_DEPTH,
+    RevocationList,
+    Token,
+    TokenError,
+    TokenService,
+    auth_mode,
+    scope_grants,
+)
+
+KEY = b"k" * 32
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def users() -> UserDirectory:
+    directory = UserDirectory(pbkdf_iterations=10)
+    directory.add_user("alice", "wonder")
+    directory.add_user("bob", "builder")
+    directory.create_group("ops")
+    directory.add_to_group("ops", "bob")
+    return directory
+
+
+@pytest.fixture()
+def service(users: UserDirectory, clock: FakeClock) -> TokenService:
+    return TokenService(users, clock, key=KEY, issuer="proxy.A")
+
+
+class TestScopeGrammar:
+    def test_exact_and_wildcards(self):
+        assert scope_grants(("jobs:submit",), "jobs:submit")
+        assert scope_grants(("*",), "anything:at all")
+        assert scope_grants(("wms:*",), "wms:claim")
+        assert not scope_grants(("wms:*",), "jobs:submit")
+        assert not scope_grants(("jobs:submit",), "jobs:cancel")
+
+    def test_empty_grants_nothing(self):
+        assert not scope_grants((), "jobs:submit")
+
+
+class TestLoginAndExpiry:
+    def test_login_mints_verified_token(self, service, clock):
+        token = service.login("alice", "wonder")
+        claims = service.verify_blob(token.to_bytes())
+        assert claims.userid == "alice"
+        assert claims.grants("jobs:submit")
+        assert claims.expires_at == clock.now + service.lifetime
+
+    def test_wrong_password_raises(self, service):
+        with pytest.raises(AuthenticationError):
+            service.login("alice", "nope")
+
+    def test_signature_login(self, users, clock):
+        keypair = RsaKeyPair.generate(512)
+        users.register_key("alice", keypair.public)
+        service = TokenService(users, clock, key=KEY)
+        message = b"login:alice"
+        token = service.login_signature(
+            "alice", message, keypair.sign(message)
+        )
+        assert token.userid == "alice"
+        with pytest.raises(AuthenticationError):
+            service.login_signature("alice", message, b"forged")
+
+    def test_group_scopes_minted_in(self, service):
+        service.grant_group_scopes("ops", ["wms:claim"])
+        assert service.login("bob", "builder").grants("wms:claim")
+        assert not service.login("alice", "wonder").grants("wms:claim")
+
+    def test_requested_scopes_must_be_grantable(self, service):
+        narrowed = service.login("alice", "wonder", scopes=["jobs:submit"])
+        assert narrowed.scopes == ("jobs:submit",)
+        with pytest.raises(TokenError):
+            service.login("alice", "wonder", scopes=["auth:revoke"])
+
+    def test_expired_token_rejected(self, service, clock):
+        blob = service.login("alice", "wonder").to_bytes()
+        clock.advance(service.lifetime + 1.0)
+        with pytest.raises(TokenError, match="expired"):
+            service.verify_blob(blob)
+
+    def test_future_issued_token_rejected(self, service, clock):
+        blob = service.login("alice", "wonder").to_bytes()
+        clock.advance(-(service.max_clock_skew + 5.0))
+        with pytest.raises(TokenError, match="future"):
+            service.verify_blob(blob)
+
+    def test_scope_check_on_verify(self, service):
+        blob = service.login("alice", "wonder").to_bytes()
+        service.verify_blob(blob, required_scope="jobs:submit")
+        with pytest.raises(TokenError, match="lacks scope"):
+            service.verify_blob(blob, required_scope="auth:revoke")
+
+
+class TestRefresh:
+    def test_refresh_extends_lifetime_same_claims(self, service, clock):
+        old = service.login("alice", "wonder", scopes=["jobs:submit"])
+        clock.advance(service.lifetime / 2)
+        fresh = service.refresh(old.to_bytes())
+        assert fresh.userid == old.userid
+        assert fresh.scopes == old.scopes
+        assert fresh.expires_at > old.expires_at
+        assert fresh.token_id != old.token_id
+
+    def test_expired_token_cannot_refresh(self, service, clock):
+        blob = service.login("alice", "wonder").to_bytes()
+        clock.advance(service.lifetime + 1.0)
+        with pytest.raises(TokenError):
+            service.refresh(blob)
+
+    def test_delegated_token_cannot_refresh(self, service):
+        blob = service.login("alice", "wonder").to_bytes()
+        child = service.delegate(
+            blob, delegate_to="proxy.B", scopes=["jobs:submit"]
+        )
+        with pytest.raises(TokenError, match="delegated"):
+            service.refresh(child.to_bytes())
+
+
+class TestRevocation:
+    def test_revoke_token_bumps_epoch_and_rejects(self, service):
+        blob = service.login("alice", "wonder").to_bytes()
+        assert service.epoch == 0
+        assert service.revoke(blob) is True
+        assert service.epoch == 1
+        assert service.revoke(blob) is False  # idempotent, no bump
+        assert service.epoch == 1
+        with pytest.raises(TokenError, match="revoked"):
+            service.verify_blob(blob)
+
+    def test_revoke_user_cuts_off_prior_tokens(self, service, clock):
+        old = service.login("alice", "wonder").to_bytes()
+        service.revoke_user("alice")
+        with pytest.raises(TokenError, match="revoked"):
+            service.verify_blob(old)
+        # Tokens issued after the cutoff are fine (e.g. re-login).
+        clock.advance(1.0)
+        fresh = service.login("alice", "wonder").to_bytes()
+        assert service.verify_blob(fresh).userid == "alice"
+
+    def test_merge_is_grow_only_union(self, users, clock):
+        a = TokenService(users, clock, key=KEY, issuer="proxy.A")
+        b = TokenService(users, clock, key=KEY, issuer="proxy.B")
+        blob = a.login("alice", "wonder").to_bytes()
+        a.revoke(blob)
+        assert b.epoch == 0
+        assert b.merge_rlist(a.rlist_wire()) is True
+        assert b.epoch >= a.epoch
+        with pytest.raises(TokenError, match="revoked"):
+            b.verify_blob(blob)
+        # Re-merging the same state changes nothing.
+        assert b.merge_rlist(a.rlist_wire()) is False
+
+    def test_concurrent_revokes_converge_with_epoch_bump(self, users, clock):
+        a = TokenService(users, clock, key=KEY, issuer="proxy.A")
+        b = TokenService(users, clock, key=KEY, issuer="proxy.B")
+        blob_a = a.login("alice", "wonder").to_bytes()
+        blob_b = b.login("bob", "builder").to_bytes()
+        a.revoke(blob_a)
+        b.revoke(blob_b)
+        assert a.epoch == b.epoch == 1  # same epoch, different sets
+        a.merge_rlist(b.rlist_wire())
+        # The merge learned new entries at an equal epoch: it must bump
+        # so the union keeps gossiping outward.
+        assert a.epoch > 1
+        b.merge_rlist(a.rlist_wire())
+        for svc in (a, b):
+            with pytest.raises(TokenError):
+                svc.verify_blob(blob_a)
+            with pytest.raises(TokenError):
+                svc.verify_blob(blob_b)
+        assert a.rlist_wire()["tokens"] == b.rlist_wire()["tokens"]
+
+    def test_malformed_rlist_raises(self):
+        rlist = RevocationList()
+        with pytest.raises(TokenError):
+            rlist.merge({"epoch": 1, "tokens": "oops", "users": {}})
+
+
+class TestDelegation:
+    def test_attenuation_scopes_subset_and_expiry_cap(self, service, clock):
+        parent = service.login("alice", "wonder")
+        child = service.delegate(
+            parent.to_bytes(), delegate_to="proxy.B", scopes=["jobs:submit"]
+        )
+        assert child.userid == "alice"
+        assert child.scopes == ("jobs:submit",)
+        assert child.depth == 1
+        assert child.chain[0]["by"] == "proxy.B"
+        assert child.expires_at <= parent.expires_at
+
+    def test_cannot_widen_scopes(self, service):
+        parent = service.login("alice", "wonder", scopes=["jobs:submit"])
+        with pytest.raises(TokenError, match="cannot delegate"):
+            service.delegate(
+                parent.to_bytes(), delegate_to="proxy.B", scopes=["wms:read"]
+            )
+
+    def test_depth_bound(self, service):
+        blob = service.login("alice", "wonder").to_bytes()
+        for hop in range(MAX_DELEGATION_DEPTH):
+            blob = service.delegate(
+                blob, delegate_to=f"proxy.{hop}", scopes=["jobs:submit"]
+            ).to_bytes()
+        with pytest.raises(TokenError, match="depth"):
+            service.delegate(
+                blob, delegate_to="proxy.deep", scopes=["jobs:submit"]
+            )
+
+    def test_revoking_parent_kills_user_not_chain_id(self, service):
+        parent = service.login("alice", "wonder")
+        child = service.delegate(
+            parent.to_bytes(), delegate_to="proxy.B", scopes=["jobs:submit"]
+        )
+        service.revoke(parent.to_bytes())
+        # The child is its own token id: still live until revoked or the
+        # user is cut off (revoke_user is the kill-everything switch).
+        service.verify_blob(child.to_bytes())
+        service.revoke_user("alice")
+        with pytest.raises(TokenError):
+            service.verify_blob(child.to_bytes())
+
+
+class TestTamper:
+    def test_bit_flip_anywhere_rejected(self, service):
+        blob = bytearray(service.login("alice", "wonder").to_bytes())
+        for index in range(0, len(blob), max(1, len(blob) // 16)):
+            tampered = bytearray(blob)
+            tampered[index] ^= 0x01
+            with pytest.raises(TokenError):
+                service.verify_blob(bytes(tampered))
+
+    def test_wrong_key_rejected(self, users, clock, service):
+        other = TokenService(users, clock, key=b"x" * 32)
+        blob = other.login("alice", "wonder").to_bytes()
+        with pytest.raises(TokenError, match="signature"):
+            service.verify_blob(blob)
+
+    def test_forged_claims_rejected(self, service, clock):
+        # Re-minting the same claims under a guessed key must not fly.
+        forged = Token.mint(
+            b"guessed-key-guessed-key-guessed!",
+            userid="alice",
+            groups=("service",),
+            scopes=("*",),
+            issued_at=clock.now,
+            expires_at=clock.now + 900.0,
+            issuer="proxy.A",
+            token_id="proxy.A:9:deadbeef",
+        )
+        with pytest.raises(TokenError):
+            service.verify_blob(forged.to_bytes())
+
+    def test_malformed_blob_rejected(self, service):
+        for blob in (b"", b"garbage", b"\x00" * 64):
+            with pytest.raises(TokenError):
+                service.verify_blob(blob)
+
+
+class TestMode:
+    def test_auth_mode_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTH", raising=False)
+        assert auth_mode() == "token"
+        monkeypatch.setenv("REPRO_AUTH", "legacy")
+        assert auth_mode() == "legacy"
+        monkeypatch.setenv("REPRO_AUTH", "  TOKEN ")
+        assert auth_mode() == "token"
+        monkeypatch.setenv("REPRO_AUTH", "bogus")
+        assert auth_mode() == "token"
+
+    def test_short_key_rejected(self, users, clock):
+        with pytest.raises(ValueError):
+            TokenService(users, clock, key=b"short")

@@ -47,6 +47,17 @@ INSTRUMENT_IMPL_SUFFIXES = ("obs/metrics.py", "simulation/metrics.py")
 #: Instrument-resolving registry methods (hot-path construction bait).
 INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram", "timeseries"})
 
+#: The asymmetric-crypto module: any call resolving into it from a
+#: dispatch guard is a per-request RSA operation on the hot path (GL105).
+ASYMMETRIC_MODULE_SUFFIXES = ("security/rsa.py",)
+
+#: Attribute calls that look like public-key operations when their
+#: receiver names key material (GL105).
+ASYMMETRIC_ATTRS = frozenset({"sign", "verify", "encrypt", "decrypt"})
+
+#: Receiver-text fragments that mark the receiver as key material.
+KEY_RECEIVER_HINTS = ("key", "rsa", "public", "private", "cert")
+
 
 def _module_aliases(tree: ast.Module, module: str) -> set[str]:
     """Names the file binds to ``import module`` (honouring ``as``)."""
@@ -240,6 +251,132 @@ class ForkSafeShardWorkers(Rule):
                 "reactor/registry stacks"
             ),
         )
+
+
+def _attr_text(node: ast.AST) -> str:
+    """Dotted receiver text of an attribute chain (best effort)."""
+    if isinstance(node, ast.Attribute):
+        return f"{_attr_text(node.value)}.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _attr_text(node.func) + "()"
+    return "?"
+
+
+@rule
+class NoAsymmetricCryptoInGuards(Rule):
+    """Dispatch guards must stay on a symmetric-crypto budget.
+
+    Guards run on the pipeline's authorize stage for *every* control
+    message; the token control plane exists precisely so that path costs
+    one HMAC, not one RSA operation per request.  The rule seeds from
+    every ``add_guard(...)`` registration and from ``__call__`` of every
+    ``*Guard`` class, walks the conservative call graph, and flags (a)
+    calls that resolve into the asymmetric-crypto module and (b)
+    ``sign``/``verify``/``encrypt``/``decrypt`` attribute calls whose
+    receiver names key material.  A guard that genuinely must do
+    public-key work carries a suppression saying why the per-message
+    cost is acceptable.
+    """
+
+    code = "GL105"
+    title = "asymmetric-crypto call reachable from a dispatch guard"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = CallGraph(project)
+        receivers = self._receiver_index(project)
+        for key, chain in sorted(self._guard_chains(graph).items()):
+            fn = graph.nodes[key]
+            for kind, name, line in fn.calls:
+                what: Optional[str] = None
+                if kind == "attr" and name in ASYMMETRIC_ATTRS:
+                    receiver = receivers.get(fn.path, {}).get((line, name), "")
+                    if any(
+                        hint in receiver.lower()
+                        for hint in KEY_RECEIVER_HINTS
+                    ):
+                        what = f"{receiver}.{name}()"
+                if what is None:
+                    for callee in graph.resolve(fn, kind, name):
+                        callee_path = callee.path.replace("\\", "/")
+                        if any(
+                            callee_path.endswith(sfx)
+                            for sfx in ASYMMETRIC_MODULE_SUFFIXES
+                        ):
+                            what = f"{name}() resolves into {callee_path}"
+                            break
+                if what is not None:
+                    yield Finding(
+                        code=self.code,
+                        path=fn.path,
+                        line=line,
+                        message=(
+                            f"{what} reachable from a dispatch guard "
+                            f"({' -> '.join(chain)}); guards must stay "
+                            "HMAC-cheap — move RSA to login/handshake time"
+                        ),
+                    )
+
+    @staticmethod
+    def _receiver_index(
+        project: Project,
+    ) -> dict[str, dict[tuple[int, str], str]]:
+        """path -> {(line, attr): receiver text} for attribute calls."""
+        index: dict[str, dict[tuple[int, str], str]] = {}
+        for source in project.sources:
+            per = index.setdefault(source.path, {})
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    per[(node.lineno, node.func.attr)] = _attr_text(
+                        node.func.value
+                    )
+        return index
+
+    def _guard_chains(
+        self, graph: CallGraph
+    ) -> dict[tuple[str, str], list[str]]:
+        """node key -> chain from its nearest guard entry point."""
+        chains: dict[tuple[str, str], list[str]] = {}
+        frontier: list = []
+
+        def seed(target, why: str) -> None:
+            if target.key not in chains:
+                chains[target.key] = [why, target.short]
+                frontier.append(target)
+
+        for source in graph.project.sources:
+            for node in ast.walk(source.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_guard"
+                ):
+                    continue
+                owner = graph._enclosing_function(source, node)
+                if owner is None:
+                    continue
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    for target in graph._callback_targets(owner, arg):
+                        seed(target, f"guard registered in {owner.short}")
+        for (path, cls), methods in graph._methods.items():
+            if cls.endswith("Guard") and "__call__" in methods:
+                seed(
+                    graph.nodes[methods["__call__"]],
+                    f"{cls}.__call__ guard entry",
+                )
+        while frontier:
+            fn = frontier.pop()
+            for kind, name, _ in fn.calls:
+                for callee in graph.resolve(fn, kind, name):
+                    if callee.key not in chains:
+                        chains[callee.key] = chains[fn.key] + [callee.short]
+                        frontier.append(callee)
+        return chains
 
 
 @rule
@@ -573,7 +710,7 @@ class DeterministicSimulation(Rule):
     code = "GL401"
     title = "unseeded randomness / wall clock in deterministic code"
 
-    _SCOPES = ("simulation/", "tests/chaos")
+    _SCOPES = ("simulation/", "tests/chaos", "security/")
     _ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
 
     def check(self, project: Project) -> Iterator[Finding]:
