@@ -497,11 +497,15 @@ def _connect_secure(
             "encrypted_pre_master": server_cert.public_key.encrypt(pre_master)
         }
 
+    # Cover the negotiated suite with the signature and FINISH MACs so
+    # an active attacker cannot tamper the cleartext "cipher" field to
+    # downgrade or desync the record layer.
     transcript = _transcript_digest(
         client_random,
         server_random,
         certificate.to_bytes(),
         encode_value(key_exchange),
+        suite.encode(),
     )
     channel.send(
         _hs_frame(
@@ -567,8 +571,11 @@ def _finish_resumed_client(
     master = _resumed_master(resumption.master, client_random, server_random)
     client_keys = derive_session_keys(master, "client")
     server_keys = derive_session_keys(master, "server")
+    # The suite rides the resumed hello in the clear; covering the value
+    # each side *uses* with the FINISH MACs means any tampering (or a
+    # downgrade) desyncs the transcripts and fails the handshake.
     transcript = _transcript_digest(
-        b"resume", client_random, server_random, resumption.blob
+        b"resume", client_random, server_random, resumption.blob, suite.encode()
     )
     finish = _expect(channel, "finish", timeout)
     expected_mac = hmac.new(
@@ -704,6 +711,7 @@ def _accept_secure(
         server_random,
         keyex["certificate"],
         encode_value(exchange),
+        suite.encode(),
     )
     if not client_cert.public_key.verify(transcript, keyex["signature"]):
         raise HandshakeError("client transcript signature invalid")
@@ -788,7 +796,7 @@ def _accept_resumed(
         )
     )
     transcript = _transcript_digest(
-        b"resume", client_random, server_random, ticket_blob
+        b"resume", client_random, server_random, ticket_blob, suite.encode()
     )
     channel.send(
         _hs_frame(

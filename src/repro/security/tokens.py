@@ -242,10 +242,11 @@ class RevocationList:
 
     The ``epoch`` is the gossip trigger, not a version vector: any local
     mutation bumps it, heartbeats carry it, and a peer seeing a higher
-    epoch pulls the full list.  ``merge`` also bumps when it learns new
-    entries *without* an epoch increase (two proxies revoking
-    concurrently can reach the same epoch with different sets; the bump
-    keeps the union propagating).
+    epoch pulls the full list.  ``merge`` bumps past both the local and
+    remote epochs whenever it grows the set, so a replica holding the
+    union is always strictly ahead of every peer it merged from and the
+    union keeps propagating (concurrent revocations at equal or unequal
+    epochs both converge).
     """
 
     def __init__(self) -> None:
@@ -298,6 +299,11 @@ class RevocationList:
             users = wire.get("users", {})
             if not isinstance(tokens, list) or not isinstance(users, dict):
                 raise TypeError("bad rlist shape")
+            user_cutoffs = {
+                userid: float(cutoff)  # type: ignore[arg-type]
+                for userid, cutoff in users.items()
+                if isinstance(userid, str)
+            }
         except Exception as exc:
             raise TokenError(f"malformed revocation list: {exc}") from exc
         with self._lock:
@@ -306,19 +312,22 @@ class RevocationList:
                 if isinstance(token_id, str) and token_id not in self._tokens:
                     self._tokens.add(token_id)
                     grew = True
-            for userid, cutoff in users.items():
-                if not isinstance(userid, str):
-                    continue
+            for userid, cutoff in user_cutoffs.items():
                 current = self._users.get(userid)
-                if current is None or current < float(cutoff):
-                    self._users[userid] = float(cutoff)
+                if current is None or current < cutoff:
+                    self._users[userid] = cutoff
                     grew = True
             before = self._epoch
             self._epoch = max(self._epoch, remote_epoch)
-            if grew and self._epoch == before >= remote_epoch:
-                # Concurrent revocations on both sides landed on the
-                # same epoch with different sets; bump so the union
-                # keeps gossiping outward.
+            if grew:
+                # Any merge that grows the set must end strictly ahead
+                # of both our prior epoch and the peer's: peers pull
+                # only on a strictly higher epoch, so landing exactly on
+                # either value would strand the union (concurrent
+                # revocations at equal epochs, a lower-epoch replica
+                # holding unique entries merging a higher-epoch peer,
+                # or vice versa).  Growth is idempotent, so equal sets
+                # stop bumping and epochs converge.
                 self._epoch += 1
             return grew or self._epoch != before
 

@@ -14,6 +14,7 @@ import threading
 import pytest
 
 from repro.security.ca import CertificationAuthority
+from repro.security.cipher import CIPHER_SUITES
 from repro.security.handshake import (
     HandshakeError,
     ResumptionTicket,
@@ -22,7 +23,7 @@ from repro.security.handshake import (
     connect_secure,
 )
 from repro.security.rsa import RsaKeyPair
-from repro.transport.frames import Frame, FrameKind
+from repro.transport.frames import Frame, FrameKind, decode_value, encode_value
 from repro.transport.inproc import channel_pair
 
 KEY_BITS = 512
@@ -257,6 +258,72 @@ class TestFallback:
             run_handshake(
                 ca, clock, client_key, server_key, keeper, resumption=corrupt
             )
+
+
+class TestSuiteTamper:
+    def test_tampered_resumed_cipher_is_rejected(
+        self, ca, clock, client_key, server_key, keeper
+    ):
+        # The suite rides the resumed hello in cleartext; an active
+        # attacker rewriting it (downgrade) must desync the FINISH
+        # transcripts, not silently rebind the record layer.
+        first, _ = run_handshake(ca, clock, client_key, server_key, keeper)
+        original = first.resumption_ticket.suite
+        downgraded = next(s for s in CIPHER_SUITES if s != original)
+
+        client_cert = ca.issue("proxy.siteA", "proxy", client_key.public)
+        server_cert = ca.issue("proxy.siteB", "proxy", server_key.public)
+        c_a, c_b = channel_pair("mitm-client")
+        s_a, s_b = channel_pair("mitm-server")
+        result = {}
+
+        def server():
+            try:
+                accept_secure(
+                    s_b, server_key, server_cert, ca.public_key, clock,
+                    ticket_keeper=keeper, timeout=5.0,
+                )
+            except Exception as exc:
+                result["server_error"] = exc
+
+        def client():
+            try:
+                connect_secure(
+                    c_a, client_key, client_cert, ca.public_key, clock,
+                    resumption=first.resumption_ticket, timeout=5.0,
+                )
+            except Exception as exc:
+                result["client_error"] = exc
+
+        threads = [
+            threading.Thread(target=server, daemon=True),
+            threading.Thread(target=client, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        try:
+            s_a.send(c_b.recv(timeout=5.0))  # client hello, untouched
+            hello = s_a.recv(timeout=5.0)  # server resumed hello
+            body = decode_value(hello.payload)
+            assert body.get("resumed") is True
+            assert body["cipher"] == original
+            body["cipher"] = downgraded
+            c_b.send(
+                Frame(
+                    kind=FrameKind.HANDSHAKE,
+                    headers=hello.headers,
+                    payload=encode_value(body),
+                )
+            )
+            c_b.send(s_a.recv(timeout=5.0))  # server FINISH, untouched
+        finally:
+            threads[1].join(timeout=10.0)
+            for ch in (c_a, c_b, s_a, s_b):
+                ch.close()
+            threads[0].join(timeout=10.0)
+        err = result.get("client_error")
+        assert isinstance(err, HandshakeError)
+        assert "FINISH" in str(err)
 
 
 class TestKeeper:

@@ -200,10 +200,61 @@ class TestRevocation:
                 svc.verify_blob(blob_b)
         assert a.rlist_wire()["tokens"] == b.rlist_wire()["tokens"]
 
+    def test_concurrent_revokes_unequal_epochs_converge(self, users, clock):
+        # A revokes T at epoch 1; B revokes U and V at epoch 2.  After A
+        # merges B it holds the strict superset, so it must land strictly
+        # ahead of B's epoch — otherwise B (pulling only on a strictly
+        # higher epoch) would never learn T.
+        a = TokenService(users, clock, key=KEY, issuer="proxy.A")
+        b = TokenService(users, clock, key=KEY, issuer="proxy.B")
+        blob_t = a.login("alice", "wonder").to_bytes()
+        blob_u = b.login("bob", "builder").to_bytes()
+        blob_v = b.login("bob", "builder").to_bytes()  # distinct token_id
+        a.revoke(blob_t)
+        b.revoke(blob_u)
+        b.revoke(blob_v)
+        assert (a.epoch, b.epoch) == (1, 2)
+        a.merge_rlist(b.rlist_wire())
+        assert a.epoch > b.epoch
+        b.merge_rlist(a.rlist_wire())
+        for svc in (a, b):
+            for blob in (blob_t, blob_u, blob_v):
+                with pytest.raises(TokenError):
+                    svc.verify_blob(blob)
+        assert a.rlist_wire()["tokens"] == b.rlist_wire()["tokens"]
+        # Converged: after at most one epoch-sync pull (no growth, just
+        # adopting the higher epoch) further exchanges are no-ops.
+        a.merge_rlist(b.rlist_wire())
+        assert a.merge_rlist(b.rlist_wire()) is False
+        assert b.merge_rlist(a.rlist_wire()) is False
+
+    def test_merge_from_lower_epoch_peer_still_bumps(self):
+        # A is far ahead on epoch; B holds one unique entry at a lower
+        # epoch.  A third replica synced to A's old epoch pulls neither
+        # list unless A's merge bumps past its *own* prior epoch too.
+        a, b = RevocationList(), RevocationList()
+        for i in range(5):
+            a.revoke_token(f"t{i}")
+        b.revoke_token("unique")
+        assert (a.epoch, b.epoch) == (5, 1)
+        assert a.merge({**b.to_wire()}) is True
+        assert a.epoch > 5
+
     def test_malformed_rlist_raises(self):
         rlist = RevocationList()
         with pytest.raises(TokenError):
             rlist.merge({"epoch": 1, "tokens": "oops", "users": {}})
+
+    def test_malformed_user_cutoff_rejected_atomically(self):
+        rlist = RevocationList()
+        with pytest.raises(TokenError):
+            rlist.merge(
+                {"epoch": 3, "tokens": ["tok-1"], "users": {"mallory": "NaNope"}}
+            )
+        # Nothing was applied: no entries, no epoch movement.
+        assert rlist.epoch == 0
+        assert rlist.to_wire()["tokens"] == []
+        assert rlist.to_wire()["users"] == {}
 
 
 class TestDelegation:
