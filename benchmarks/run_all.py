@@ -131,6 +131,7 @@ def main(argv: list[str]) -> int:
     import benchmarks.bench_concurrency as concurrency
     import benchmarks.bench_fastpath as fastpath
     import benchmarks.bench_obs as obs
+    import benchmarks.bench_racesan as racesan
     import benchmarks.bench_shard as shard
     import benchmarks.bench_wms as wms
 
@@ -175,6 +176,10 @@ def main(argv: list[str]) -> int:
         "obs": lambda: [
             ("Obs: instrumentation overhead (gate <5% on tunnel_echo)",
              obs.run_tables(quick=quick)),
+        ],
+        "racesan": lambda: [
+            ("Racesan: sanitizer overhead (gate <5% on tunnel_echo)",
+             racesan.run_tables(quick=quick)),
         ],
         "shard": lambda: [
             ("Shard: aggregate frames/s vs worker count",

@@ -1,11 +1,20 @@
-"""Root test configuration: the lock-order watchdog.
+"""Root test configuration: lock-order watchdog + data-race sanitizer.
 
-Installed in ``pytest_configure`` — before collection imports any
-``repro`` module — so locks created at import time are watched too.
-``REPRO_LOCKWATCH=0`` disables it (e.g. to bisect whether the watchdog
-itself perturbs a failure).  Violations accumulate silently during the
-run and fail the session at the end: raising at the acquisition site
-would corrupt whatever code path happened to close the cycle.
+Both install in ``pytest_configure`` — before collection imports any
+``repro`` module — so locks created at import time are watched and
+``@shared_state`` classes are instrumented from the first import.
+``REPRO_LOCKWATCH=0`` / ``REPRO_RACESAN=0`` disable them individually
+(e.g. to bisect whether the tooling itself perturbs a failure).
+
+The sanitizer instruments everywhere but *records* only where a suite
+opts in: ``tests/chaos`` and ``tests/integration`` enable recording via
+autouse fixtures (they are the suites that actually interleave
+threads); ``REPRO_RACESAN=1`` forces recording for the whole session.
+
+Violations accumulate silently during the run and fail the session at
+the end — lock-order cycles as exit 3, data races as exit 4 — because
+raising at the access site would corrupt whatever code path happened to
+trip the detector.
 """
 
 from __future__ import annotations
@@ -16,16 +25,20 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
 
-from repro.obs import lockwatch  # noqa: E402
+from repro.obs import lockwatch, racesan  # noqa: E402
 
 
-def _enabled() -> bool:
+def _lockwatch_enabled() -> bool:
     return os.environ.get("REPRO_LOCKWATCH", "1") != "0"
 
 
 def pytest_configure(config):
-    if _enabled():
+    if _lockwatch_enabled():
         lockwatch.install()
+    if racesan.mode() != "off":
+        sanitizer = racesan.install()
+        if racesan.mode() == "on":
+            sanitizer.recording = True
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -34,9 +47,30 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.section("lock-order watchdog")
         for violation in watchdog.violations:
             terminalreporter.write_line(violation)
+    sanitizer = racesan.active()
+    if sanitizer is not None and (sanitizer.races or sanitizer.suppressions_hit):
+        terminalreporter.section("race sanitizer")
+        for report in sanitizer.races:
+            terminalreporter.write_line(report.render())
+        if sanitizer.suppressions_hit:
+            terminalreporter.write_line(
+                f"{len(sanitizer.suppressions_hit)} report(s) suppressed by "
+                "justified `# racesan: ok` pragmas"
+            )
 
 
 def pytest_sessionfinish(session, exitstatus):
     watchdog = lockwatch.active()
     if watchdog is not None and watchdog.violations:
         session.exitstatus = 3
+    sanitizer = racesan.active()
+    if sanitizer is not None:
+        report_path = os.environ.get("REPRO_RACESAN_JSON")
+        if report_path:
+            import json
+
+            Path(report_path).write_text(
+                json.dumps(sanitizer.stats(), indent=2) + "\n", encoding="utf-8"
+            )
+        if sanitizer.races:
+            session.exitstatus = 4

@@ -23,6 +23,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs.racesan import shared_state
+
 __all__ = ["FailureDetector", "PeerState", "PeerHealth"]
 
 
@@ -40,6 +42,7 @@ class PeerHealth:
     suspected_at: Optional[float] = None
 
 
+@shared_state
 class FailureDetector:
     """Timeout-based detector over heartbeat observations.
 

@@ -60,8 +60,10 @@ import os
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
+
+from repro.obs.racesan import shared_state
 
 __all__ = [
     "FairShare",
@@ -334,6 +336,7 @@ class FileJournal:
 # ---------------------------------------------------------------------------
 
 
+@shared_state
 class WorkloadManager:
     """Durable fair-share job queue with pilot-style late binding.
 

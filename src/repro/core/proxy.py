@@ -48,7 +48,7 @@ from repro.core.protocol import (
 )
 from repro.core.routing import GridDirectory
 from repro.core.site import Site
-from repro.obs import ObsHub
+from repro.obs import ObsHub, racesan
 from repro.obs.trace import current_trace, use_trace
 from repro.core.tunnel import Tunnel, TunnelError
 from repro.core.virtual_slave import AppSpace
@@ -740,6 +740,10 @@ class ProxyServer:
                 dump["shards"] = self._shard_manager.folded_snapshot()
             except Exception as exc:
                 dump["shards"] = {"error": str(exc)}
+        sanitizer = racesan.active()
+        dump["racesan"] = (
+            sanitizer.stats() if sanitizer is not None else {"enabled": False}
+        )
         return dump
 
     def attach_shards(self, manager) -> None:

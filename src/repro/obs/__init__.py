@@ -27,6 +27,12 @@ from repro.obs.metrics import (
     set_enabled,
 )
 from repro.obs.lockwatch import LockOrderError, LockOrderWatchdog
+from repro.obs.racesan import (
+    RaceError,
+    RaceSanitizer,
+    shared_state,
+    watch,
+)
 from repro.obs.trace import (
     Span,
     SpanRecorder,
@@ -46,6 +52,8 @@ __all__ = [
     "LockOrderWatchdog",
     "MetricsRegistry",
     "ObsHub",
+    "RaceError",
+    "RaceSanitizer",
     "Span",
     "SpanRecorder",
     "TraceContext",
@@ -56,8 +64,10 @@ __all__ = [
     "mint_trace",
     "reset_global_registry",
     "set_enabled",
+    "shared_state",
     "swap_trace",
     "use_trace",
+    "watch",
 ]
 
 

@@ -31,6 +31,8 @@ import os
 import threading
 from typing import Callable, Optional, Sequence, TypeVar
 
+from repro.obs.racesan import shared_state
+
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -203,6 +205,7 @@ class Histogram:
         return out
 
 
+@shared_state
 class MetricsRegistry:
     """Named instruments for one owner (a proxy, or the process).
 

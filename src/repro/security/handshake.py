@@ -46,8 +46,10 @@ from __future__ import annotations
 import hashlib
 import hmac
 import secrets
+import threading
 from typing import Callable, Optional
 
+from repro.obs.racesan import shared_state
 from repro.security.certs import Certificate, CertificateError
 from repro.security.cipher import CIPHER_SUITES, RecordCipher, derive_session_keys
 from repro.security.dh import DiffieHellman
@@ -267,6 +269,7 @@ class ResumptionTicket:
         )
 
 
+@shared_state
 class SessionTicketKeeper:
     """Server-side session-ticket encryption key (a STEK) plus policy.
 
@@ -288,6 +291,10 @@ class SessionTicketKeeper:
         self.lifetime = float(lifetime)
         self._key = key if key is not None else secrets.token_bytes(32)
         # Counters feed the auth benchmarks and observability dumps.
+        # One keeper serves every accept thread concurrently, so the
+        # bumps below take this lock: `+= 1` is read-modify-write, and
+        # two threads racing it lose increments.
+        self._count_lock = threading.Lock()
         self.issued = 0
         self.redeemed = 0
         self.rejected = 0
@@ -306,7 +313,8 @@ class SessionTicketKeeper:
         mac = hmac.new(
             self._key, b"ticket|" + nonce + sealed, hashlib.sha256
         ).digest()
-        self.issued += 1
+        with self._count_lock:
+            self.issued += 1
         return encode_value({"n": nonce, "b": sealed, "m": mac})
 
     def redeem(self, blob: bytes) -> Optional[dict]:
@@ -325,9 +333,11 @@ class SessionTicketKeeper:
                 raise ValueError("ticket expired")
         except Exception:
             # Hostile or stale input: never an error, always a fallback.
-            self.rejected += 1
+            with self._count_lock:
+                self.rejected += 1
             return None
-        self.redeemed += 1
+        with self._count_lock:
+            self.redeemed += 1
         return state
 
 

@@ -44,6 +44,7 @@ import threading
 from hashlib import sha256
 from typing import Callable, Iterable, Optional
 
+from repro.obs.racesan import shared_state
 from repro.security.auth import UserDirectory
 from repro.transport.frames import decode_value, encode_value
 
@@ -231,6 +232,7 @@ class Token:
         )
 
 
+@shared_state
 class RevocationList:
     """Grow-only revocation state with a monotonic gossip epoch.
 
@@ -257,7 +259,10 @@ class RevocationList:
 
     @property
     def epoch(self) -> int:
-        return self._epoch
+        # Heartbeat threads read the epoch while gossip merges bump it;
+        # the lock gives readers a published value, not a torn one.
+        with self._lock:
+            return self._epoch
 
     def revoke_token(self, token_id: str) -> bool:
         with self._lock:

@@ -31,6 +31,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+from repro.obs.racesan import shared_state
 from repro.transport.errors import CodecError, FrameError
 
 __all__ = [
@@ -403,6 +404,7 @@ def _decode_frame_prefix(data: bytes) -> tuple[Optional[Frame], int]:
 _COMPACT_THRESHOLD = 256 * 1024
 
 
+@shared_state
 class FrameDecoder:
     """Incremental decoder for a byte stream (TCP reassembly).
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = [
     "ShardAcceptor",
@@ -134,8 +134,9 @@ class ShardAcceptor:
         self.dealt: dict[int, int] = {}
 
     @property
-    def address(self) -> tuple:
-        return self._sock.getsockname()
+    def address(self) -> tuple[Any, ...]:
+        addr: tuple[Any, ...] = self._sock.getsockname()
+        return addr
 
     def add_worker(self, shard_id: int, link: socket.socket) -> None:
         """Register (or replace, after a respawn) a worker handoff link."""

@@ -13,6 +13,10 @@ accepts a comma-separated list to replay several at once.
 import os
 from contextlib import contextmanager
 
+import pytest
+
+from repro.obs import racesan
+
 #: The default seed set.  Fixed, not random: the suite must fail the same
 #: way tomorrow as it does today.
 CHAOS_SEEDS = [11, 42, 1337, 9001, 20260806]
@@ -39,6 +43,24 @@ def pytest_generate_tests(metafunc):
             if "chaos_seed" in str(marker.args[0]):
                 return
         metafunc.parametrize("chaos_seed", chaos_seeds())
+
+
+@pytest.fixture(autouse=True)
+def _racesan_recording():
+    """Chaos tests interleave threads on purpose: record every access.
+
+    Instrumentation is session-wide (root conftest); this only flips the
+    recording gate for the duration of each chaos test.
+    """
+    sanitizer = racesan.active()
+    if sanitizer is None or sanitizer.recording:
+        yield
+        return
+    sanitizer.recording = True
+    try:
+        yield
+    finally:
+        sanitizer.recording = False
 
 
 @contextmanager

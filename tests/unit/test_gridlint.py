@@ -361,6 +361,118 @@ def worker_main(config):
 """
 }
 
+_GL106_POSITIVE = {
+    "repro/core/counter.py": """\
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Counter:
+    def __init__(self, loop):
+        self.hits = 0
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        self.hits += 1
+"""
+}
+
+_GL106_NEGATIVE = {
+    "repro/core/counter.py": """\
+import threading
+
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Counter:
+    def __init__(self, loop):
+        self.hits = 0
+        self._lock = threading.Lock()
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        with self._lock:
+            self.hits += 1
+"""
+}
+
+_GL106_SUPPRESSED = {
+    "repro/core/counter.py": """\
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Counter:
+    def __init__(self, loop):
+        self.hits = 0
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        self.hits += 1  # gridlint: disable=GL106 -- loop-confined: only the registering loop runs _on_io
+"""
+}
+
+_GL107_POSITIVE = {
+    "repro/core/worker.py": """\
+import threading
+
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Worker:
+    def __init__(self):
+        self.stop = False
+        threading.Thread(target=self._run).start()
+        self.interval = 0.5
+
+    def _run(self):
+        return self.interval
+"""
+}
+
+_GL107_NEGATIVE = {
+    "repro/core/worker.py": """\
+import threading
+
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Worker:
+    def __init__(self):
+        # Publish last: every field settles before the thread can look.
+        self.stop = False
+        self.interval = 0.5
+        threading.Thread(target=self._run).start()
+
+    def _run(self):
+        return self.interval
+"""
+}
+
+_GL107_SUPPRESSED = {
+    "repro/core/worker.py": """\
+import threading
+
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Worker:
+    def __init__(self):
+        self.stop = False
+        self.started = threading.Event()
+        threading.Thread(target=self._run).start()
+        self.interval = 0.5  # gridlint: disable=GL107 -- the spawned side waits on self.started before reading fields
+
+    def _run(self):
+        self.started.wait(1.0)
+        return self.interval
+"""
+}
+
 FIXTURES: dict[str, dict[str, dict[str, str]]] = {
     "GL101": {
         "positive": _GL101_POSITIVE,
@@ -401,6 +513,16 @@ FIXTURES: dict[str, dict[str, dict[str, str]]] = {
         "positive": _GL401_POSITIVE,
         "negative": _GL401_NEGATIVE,
         "suppressed": _GL401_SUPPRESSED,
+    },
+    "GL106": {
+        "positive": _GL106_POSITIVE,
+        "negative": _GL106_NEGATIVE,
+        "suppressed": _GL106_SUPPRESSED,
+    },
+    "GL107": {
+        "positive": _GL107_POSITIVE,
+        "negative": _GL107_NEGATIVE,
+        "suppressed": _GL107_SUPPRESSED,
     },
 }
 
@@ -467,6 +589,133 @@ class Service:
     }
     result = lint(tmp_path, files, select={"GL105"})
     assert "GL105" in codes_of(result), render_text(result)
+
+
+def test_gl106_externally_locked_chain_is_exempt(tmp_path):
+    """The FrameDecoder idiom: the shared class takes no lock itself,
+    but every reactor path into it crosses a lock-holding call site."""
+    files = {
+        "repro/core/chan.py": """\
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Decoder:
+    def feed(self, data):
+        self.buf = data
+
+
+class Chan:
+    def start(self, loop):
+        loop.register_fd(0, 1, self._on_io)
+
+    def _on_io(self, mask):
+        with self._rx_lock:
+            self._decoder.feed(b"x")
+
+
+def off_loop_copy():
+    # A thread-confined decoder: unlocked by design, and unreachable
+    # from any reactor seed, so it must not poison the exemption.
+    decoder = Decoder()
+    decoder.feed(b"y")
+"""
+    }
+    result = lint(tmp_path, files, select={"GL106"})
+    assert codes_of(result) == [], render_text(result)
+
+
+def test_gl106_one_unlocked_chain_defeats_exemption(tmp_path):
+    """Two seed paths, one locked and one bare: the bare one wins."""
+    files = {
+        "repro/core/chan.py": """\
+from repro.obs.racesan import shared_state
+
+
+@shared_state
+class Decoder:
+    def feed(self, data):
+        self.buf = data
+
+
+class Chan:
+    def start(self, loop):
+        loop.register_fd(0, 1, self._on_io)
+        loop.call_later(0.1, self._poll)
+
+    def _on_io(self, mask):
+        with self._rx_lock:
+            self._decoder.feed(b"x")
+
+    def _poll(self):
+        self._decoder.feed(b"y")
+"""
+    }
+    result = lint(tmp_path, files, select={"GL106"})
+    assert codes_of(result) == ["GL106"], render_text(result)
+
+
+def test_gl101_reaches_through_partial(tmp_path):
+    """functools.partial(fn, ...) registrations resolve to fn."""
+    files = {
+        "repro/core/svc.py": """\
+import time
+from functools import partial
+
+
+class Service:
+    def start(self, loop):
+        loop.register_fd(0, 1, partial(self._on_io, "tag"))
+
+    def _on_io(self, tag, mask):
+        time.sleep(0.1)
+"""
+    }
+    result = lint(tmp_path, files, select={"GL101"})
+    assert codes_of(result) == ["GL101"], render_text(result)
+
+
+def test_gl101_reaches_through_wrapper_and_local_assignment(tmp_path):
+    """cb = traced(self._tick); loop.call_later(..., cb) resolves to
+    both the wrapper and the wrapped callable."""
+    files = {
+        "repro/core/svc.py": """\
+import time
+
+
+def traced(fn):
+    return fn
+
+
+class Service:
+    def start(self, loop):
+        cb = traced(self._tick)
+        loop.call_later(0.1, cb)
+
+    def _tick(self):
+        time.sleep(0.1)
+"""
+    }
+    result = lint(tmp_path, files, select={"GL101"})
+    assert codes_of(result) == ["GL101"], render_text(result)
+
+
+def test_gl101_partial_of_clean_callback_stays_quiet(tmp_path):
+    files = {
+        "repro/core/svc.py": """\
+from functools import partial
+
+
+class Service:
+    def start(self, loop):
+        loop.register_fd(0, 1, partial(self._on_io, "tag"))
+
+    def _on_io(self, tag, mask):
+        self.count = getattr(self, "count", 0) + 1
+"""
+    }
+    result = lint(tmp_path, files, select={"GL101"})
+    assert codes_of(result) == [], render_text(result)
 
 
 def test_gl101_blocking_dispatch_handlers_are_exempt(tmp_path):
@@ -649,6 +898,60 @@ def test_cli_end_to_end(tmp_path, capsys):
 
     exit_code = gridlint_main([str(tmp_path), "--select", "GL777"])
     assert exit_code == 2
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@t.invalid", "-c", "user.name=t", *argv],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_cli_changed_only_scopes_to_the_diff(tmp_path, capsys, monkeypatch):
+    """Findings in files untouched since BASE are dropped; changed and
+    brand-new files keep theirs.  The whole tree is still parsed."""
+    monkeypatch.chdir(tmp_path)
+    _git(tmp_path, "init", "-q")
+    old = tmp_path / "repro" / "core" / "old.py"
+    old.parent.mkdir(parents=True)
+    old.write_text(_GL102_POSITIVE["repro/core/work.py"], encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+
+    exit_code = gridlint_main(
+        [str(tmp_path), "--root", str(tmp_path), "--changed-only", "HEAD"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0, out  # the committed finding is out of scope
+    assert "0 finding(s)" in out
+
+    new = tmp_path / "repro" / "core" / "new.py"
+    new.write_text(_GL102_POSITIVE["repro/core/work.py"], encoding="utf-8")
+    exit_code = gridlint_main(
+        [str(tmp_path), "--root", str(tmp_path), "--changed-only", "HEAD"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "new.py" in out and "old.py" not in out
+
+
+def test_cli_changed_only_outside_git_is_a_usage_error(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+    target = tmp_path / "repro" / "core" / "work.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_GL102_POSITIVE["repro/core/work.py"], encoding="utf-8")
+    exit_code = gridlint_main(
+        [str(tmp_path), "--root", str(tmp_path), "--changed-only"]
+    )
+    assert exit_code == 2
+    assert "--changed-only failed" in capsys.readouterr().err
 
 
 def test_cli_list_rules(capsys):

@@ -12,13 +12,28 @@ import threading
 
 import pytest
 
-from repro.obs import lockwatch
+from repro.obs import lockwatch, racesan
 from repro.obs.lockwatch import LockOrderError, LockOrderWatchdog
+from tests.unit.test_racesan import ROUNDS, Box, _alternate
 
 
 @pytest.fixture
 def watchdog():
     return LockOrderWatchdog()
+
+
+@pytest.fixture
+def global_watchdog():
+    """The suite-wide watchdog (the one racesan reads held stacks from);
+    installed here only when REPRO_LOCKWATCH=0 kept conftest from it."""
+    installed_here = lockwatch.active() is None
+    if installed_here:
+        lockwatch.install()
+    try:
+        yield lockwatch.active()
+    finally:
+        if installed_here:
+            lockwatch.uninstall()
 
 
 def wrapped(watchdog, label):
@@ -167,6 +182,86 @@ def test_global_install_is_idempotent_and_active():
     with lock:
         assert lock.locked()
     assert not lock.locked()
+
+
+# ---------------------------------------------------------------------------
+# Interop with the race sanitizer (racesan reads this module's held stack)
+# ---------------------------------------------------------------------------
+
+
+def test_lock_created_before_install_is_invisible_until_wrapped(global_watchdog):
+    """A mutex minted before install() serialises threads for real, but
+    it never reports to the watchdog, so the sanitizer sees its critical
+    sections as lockless and (correctly, per its evidence) flags the
+    field.  The supported migration for long-lived pre-install locks is
+    ``active().wrap(old_lock)`` — after which the same pattern is clean.
+    """
+    pre_install = lockwatch.raw_lock()  # stands in for a pre-install Lock
+
+    with racesan.scoped() as san:
+        box = Box()
+
+        def bump() -> None:
+            with pre_install:
+                box.value += 1
+
+        _alternate(bump, bump)
+        assert [r.key for r in san.races] == [("Box", "value")]
+        assert "no common lock" in san.races[0].render()
+
+    wrapped_lock = global_watchdog.wrap(pre_install, site="test:pre-install")
+    with racesan.scoped() as san:
+        box = Box()
+
+        def bump_wrapped() -> None:
+            with wrapped_lock:
+                box.value += 1
+
+        _alternate(bump_wrapped, bump_wrapped)
+        assert san.races == []
+        san.assert_clean()
+
+
+def test_condition_wait_notify_stays_clean_under_sanitizer(global_watchdog):
+    """Condition round-trips on a watched lock while recording: wait()
+    drops the lock through ``_release_save`` (the held stack must empty
+    — a blocked waiter does not protect anything) and reacquires via
+    ``_acquire_restore`` before the predicate re-reads shared state."""
+    lock = global_watchdog.wrap(lockwatch.raw_lock(), site="test:cond")
+    cond = threading.Condition(lock)
+
+    with racesan.scoped() as san:
+        box = Box()
+        stalls: list[str] = []
+
+        def producer() -> None:
+            for _ in range(ROUNDS):
+                with cond:
+                    box.value += 1
+                    cond.notify()
+                    if not cond.wait_for(lambda: box.value % 2 == 0, timeout=5.0):
+                        stalls.append("producer")
+                        return
+
+        def consumer() -> None:
+            for _ in range(ROUNDS):
+                with cond:
+                    if not cond.wait_for(lambda: box.value % 2 == 1, timeout=5.0):
+                        stalls.append("consumer")
+                        return
+                    box.value += 1
+                    cond.notify()
+
+        t_p = threading.Thread(target=producer, name="cond-prod")
+        t_c = threading.Thread(target=consumer, name="cond-cons")
+        t_p.start()
+        t_c.start()
+        t_p.join(timeout=10.0)
+        t_c.join(timeout=10.0)
+        assert not stalls and not t_p.is_alive() and not t_c.is_alive()
+        with cond:  # the sanitizer is still recording: play by its rules
+            assert box.value == 2 * ROUNDS
+        san.assert_clean()
 
 
 def test_violation_report_names_creation_sites(watchdog):

@@ -6,6 +6,7 @@ Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -20,6 +21,45 @@ from tools.gridlint.engine import (
     run_rules,
     write_baseline,
 )
+
+
+def _changed_files(base: str) -> Optional[set[Path]]:
+    """Absolute paths of files changed vs ``base``, or None on git error.
+
+    Untracked files are included: a brand-new file is exactly what a
+    pre-commit pass must not skip.
+    """
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+            detail = f": {exc.stderr.strip()}"
+        print(f"gridlint: --changed-only failed ({exc}){detail}", file=sys.stderr)
+        return None
+    root = Path(toplevel)
+    return {
+        (root / line).resolve()
+        for line in (*diff.splitlines(), *untracked.splitlines())
+        if line.strip()
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -64,6 +104,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="root for relative paths in reports (default: cwd)",
     )
     parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help=(
+            "only report findings in files changed vs BASE "
+            "(git diff --name-only BASE; default HEAD).  The whole tree "
+            "is still parsed, so call-graph rules stay sound — only the "
+            "report is scoped"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -103,6 +156,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     project = Project.load(paths, root=args.root)
     baseline = load_baseline(args.baseline) if args.baseline else None
     result = run_rules(project, baseline=baseline, select=select)
+
+    if args.changed_only is not None:
+        changed = _changed_files(args.changed_only)
+        if changed is None:
+            return 2
+        result.findings = [
+            f for f in result.findings if Path(f.path).resolve() in changed
+        ]
 
     if args.write_baseline is not None:
         write_baseline(args.write_baseline, result)

@@ -294,6 +294,9 @@ class CallGraph:
     def __init__(self, project: Project) -> None:
         self.project = project
         self.nodes: dict[tuple[str, str], FunctionNode] = {}
+        self._sources_by_path: dict[str, Source] = {
+            source.path: source for source in project.sources
+        }
         #: per module: plain function name -> node keys
         self._module_funcs: dict[str, dict[str, list[tuple[str, str]]]] = {}
         #: per (module, class): method name -> node key
@@ -374,19 +377,68 @@ class CallGraph:
         return best
 
     def _callback_targets(
-        self, owner: FunctionNode, arg: ast.AST
+        self, owner: FunctionNode, arg: ast.AST, depth: int = 0
     ) -> list[FunctionNode]:
+        if depth > 3:  # partial-of-partial-of-wrapper is deep enough
+            return []
         if isinstance(arg, ast.Lambda):
             key = self._lambda_key(owner, arg)
             node = self.nodes.get(key)
             return [node] if node else []
+        if isinstance(arg, ast.Call):
+            # The registered callable is *constructed* here, not named:
+            # ``partial(fn, ...)`` runs ``fn``; a single-decorator
+            # wrapper ``deco(fn)`` runs both ``deco``'s closure and
+            # (almost always) ``fn``.  Resolve through to the wrapped
+            # callable in both shapes so GL101/GL105 see it.
+            func = arg.func
+            if (isinstance(func, ast.Name) and func.id == "partial") or (
+                isinstance(func, ast.Attribute) and func.attr == "partial"
+            ):
+                if arg.args:
+                    return self._callback_targets(owner, arg.args[0], depth + 1)
+                return []
+            out = list(self._callback_targets(owner, func, depth + 1))
+            for inner in list(arg.args) + [kw.value for kw in arg.keywords]:
+                if isinstance(inner, (ast.Name, ast.Attribute, ast.Lambda)):
+                    out.extend(self._callback_targets(owner, inner, depth + 1))
+            return out
         if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
             if arg.value.id == "self":
                 return self.resolve(owner, "self", arg.attr)
             return self.resolve(owner, "attr", arg.attr)
         if isinstance(arg, ast.Name):
-            return self.resolve(owner, "local", arg.id)
+            direct = self.resolve(owner, "local", arg.id)
+            if direct:
+                return direct
+            # A plain variable: follow one local ``name = partial(...)``
+            # (or ``name = deco(fn)``) assignment inside the registering
+            # function, the common two-line registration idiom.
+            assigned = self._local_assignment(owner, arg.id)
+            if assigned is not None:
+                return self._callback_targets(owner, assigned, depth + 1)
         return []
+
+    def _local_assignment(
+        self, owner: FunctionNode, name: str
+    ) -> Optional[ast.AST]:
+        """The value last assigned to local ``name`` inside ``owner``."""
+        source = self._sources_by_path.get(owner.path)
+        if source is None:
+            return None
+        found: Optional[ast.AST] = None
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Assign)
+                and owner.lineno <= node.lineno <= owner.end_lineno
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+            ):
+                continue
+            if found is None or node.lineno > getattr(found, "lineno", 0):
+                found = node.value
+        return found
 
     def _lambda_key(self, owner: FunctionNode, node: ast.Lambda) -> tuple[str, str]:
         for key, fn in self.nodes.items():

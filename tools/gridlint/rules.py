@@ -58,6 +58,34 @@ ASYMMETRIC_ATTRS = frozenset({"sign", "verify", "encrypt", "decrypt"})
 #: Receiver-text fragments that mark the receiver as key material.
 KEY_RECEIVER_HINTS = ("key", "rsa", "public", "private", "cert")
 
+#: Names the ``@shared_state`` decorator goes by at its use sites
+#: (``repro.obs.racesan.shared_state``): plain, module-qualified, or
+#: the explicit per-object helper.
+SHARED_STATE_DECORATORS = frozenset({"shared_state"})
+
+#: Receiver-text fragments that mark a ``with`` context manager as a
+#: lock for GL106's lexical lock-path analysis.
+LOCKLIKE_HINTS = ("lock", "cond", "mutex", "sem", "rlock")
+
+#: Call names that publish ``self`` to another thread (GL107): raw
+#: thread construction and every reactor/dispatch registration seed.
+PUBLICATION_CALLS = frozenset(
+    {
+        "Thread",
+        "Timer",
+        "start_new_thread",
+        "submit",
+        "schedule",
+        "call_later",
+        "call_every",
+        "add_channel",
+        "register_fd",
+        "set_ready_callback",
+        "register",
+        "add_guard",
+    }
+)
+
 
 def _module_aliases(tree: ast.Module, module: str) -> set[str]:
     """Names the file binds to ``import module`` (honouring ``as``)."""
@@ -771,3 +799,270 @@ class DeterministicSimulation(Rule):
                 "or the simulated clock"
             ),
         )
+
+
+def _is_shared_state_class(cls: ast.ClassDef) -> bool:
+    """True when the class carries the ``@shared_state`` decorator."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id in SHARED_STATE_DECORATORS:
+            return True
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in SHARED_STATE_DECORATORS
+        ):
+            return True
+    return False
+
+
+def _is_locklike(item: ast.withitem) -> bool:
+    text = _attr_text(item.context_expr).lower()
+    return any(hint in text for hint in LOCKLIKE_HINTS)
+
+
+def _unlocked_self_writes(
+    method: ast.AST, after_line: int = 0
+) -> list[tuple[int, str]]:
+    """(line, field) for every ``self.X`` (aug)assignment not lexically
+    under a lock-like ``with``, skipping nested function bodies."""
+    out: list[tuple[int, str]] = []
+
+    def walk(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            now_locked = locked or any(_is_locklike(item) for item in node.items)
+            for child in node.body:
+                walk(child, now_locked)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # a nested def is its own (separately analysed) node
+        if (
+            not locked
+            and isinstance(node, (ast.Assign, ast.AugAssign))
+            and node.lineno > after_line
+        ):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    out.append((node.lineno, target.attr))
+        for child in ast.iter_child_nodes(node):
+            walk(child, locked)
+
+    body = getattr(method, "body", [])
+    for stmt in body if isinstance(body, list) else [body]:
+        walk(stmt, False)
+    return out
+
+
+@rule
+class SharedStateUnlockedMutation(Rule):
+    """``@shared_state`` fields need a lock on loop-reachable paths.
+
+    Classes marked ``@shared_state`` (the runtime race sanitizer's
+    model, ``repro.obs.racesan``) are touched from reactor loops, the
+    dispatch pool, and gossip threads at once.  The rule walks the same
+    conservative call graph as GL101 from every reactor-callback
+    registration, and flags ``self.field = ...`` / ``+=`` mutations in
+    reachable methods of shared classes with no lock-like ``with`` on
+    the lexical path.  "Lexical path" is chain-sensitive: a method is
+    exempt when **every** seed-to-method chain passes through at least
+    one lock-holding call site — that is the ``FrameDecoder`` idiom,
+    where the owning channel's ``_rx_cond`` guards all reactor entry
+    points even though the decoder methods themselves take no lock.
+    Deliberately loop-confined state (single owner, no mutex by design)
+    carries a suppression naming the owner; the runtime sanitizer
+    verifies that claim with its reactor-ownership token.
+    """
+
+    code = "GL106"
+    title = "unlocked @shared_state mutation on a loop-reachable path"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = CallGraph(project)
+        chains = graph.reachable_from_seeds()
+        locked_in = self._locked_on_all_paths(graph, chains, project)
+        for source in project.sources:
+            for cls in source.tree.body:
+                if not (
+                    isinstance(cls, ast.ClassDef) and _is_shared_state_class(cls)
+                ):
+                    continue
+                for method in cls.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if method.name == "__init__":
+                        continue  # construction precedes sharing
+                    key = (source.path, f"{cls.name}.{method.name}")
+                    chain = chains.get(key)
+                    if chain is None:
+                        continue
+                    if locked_in.get(key, False):
+                        continue
+                    for line, field_name in _unlocked_self_writes(method):
+                        yield Finding(
+                            code=self.code,
+                            path=source.path,
+                            line=line,
+                            message=(
+                                f"self.{field_name} mutated without a lock in "
+                                f"{cls.name}.{method.name}, reachable from a "
+                                f"reactor callback ({' -> '.join(chain)}); "
+                                "guard it, or suppress naming the single "
+                                "owner that serializes access"
+                            ),
+                        )
+
+    @staticmethod
+    def _locked_call_lines(project: Project) -> dict[tuple[str, int], bool]:
+        """(path, line) -> True when every call starting on that line
+        sits lexically inside a lock-like ``with``.  Nested function
+        bodies restart unlocked — they run later, not under the with."""
+        locked_lines: dict[tuple[str, int], bool] = {}
+
+        def walk(path: str, node: ast.AST, locked: bool) -> None:
+            if isinstance(node, ast.With):
+                now = locked or any(_is_locklike(item) for item in node.items)
+                for child in ast.iter_child_nodes(node):
+                    walk(path, child, now)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.iter_child_nodes(node):
+                    walk(path, child, False)
+                return
+            if isinstance(node, ast.Lambda):
+                walk(path, node.body, False)
+                return
+            if isinstance(node, ast.Call):
+                key = (path, node.lineno)
+                locked_lines[key] = locked_lines.get(key, True) and locked
+            for child in ast.iter_child_nodes(node):
+                walk(path, child, locked)
+
+        for source in project.sources:
+            walk(source.path, source.tree, False)
+        return locked_lines
+
+    @classmethod
+    def _locked_on_all_paths(
+        cls,
+        graph: CallGraph,
+        chains: dict[tuple[str, str], list[str]],
+        project: Project,
+    ) -> dict[tuple[str, str], bool]:
+        """node key -> True when every seed-to-node chain crosses a
+        lock-holding call site.
+
+        Greatest-fixpoint dataflow over the reachable subgraph:
+        ``locked_in(n) = AND over incoming edges (locked_in(caller) OR
+        edge holds a lock)``.  Seed callbacks start unlocked (the
+        reactor invokes them bare), everything else starts optimistic
+        and is knocked down as unlocked paths are discovered.
+        """
+        locked_lines = cls._locked_call_lines(project)
+        locked_in = {key: True for key in chains}
+        for _, target in graph.seeds():
+            if target.key in locked_in:
+                locked_in[target.key] = False
+        changed = True
+        while changed:
+            changed = False
+            for key in chains:
+                fn = graph.nodes.get(key)
+                if fn is None:
+                    continue
+                for kind, name, line in fn.calls:
+                    for callee in graph.resolve(fn, kind, name):
+                        if not locked_in.get(callee.key, False):
+                            continue
+                        edge_locked = locked_in[key] or locked_lines.get(
+                            (fn.path, line), False
+                        )
+                        if not edge_locked:
+                            locked_in[callee.key] = False
+                            changed = True
+        return locked_in
+
+
+@rule
+class SharedStateEscapeAfterSpawn(Rule):
+    """No ``@shared_state`` field rebinds after publishing ``self``.
+
+    Handing ``self`` (or a bound method, or a closure over ``self``) to
+    ``Thread(target=...)``, ``schedule``, ``call_later``/``call_every``,
+    ``add_channel``, ``register_fd``, or ``set_ready_callback``
+    publishes the object to another thread; any later unlocked
+    ``self.field = ...`` in the same method races the new thread's first
+    access — the classic escape-after-spawn bug, where ``__init__``
+    starts its worker and then keeps initialising.  Finish initialising
+    first, publish last; late rebinds that are genuinely safe (the
+    spawned side provably waits) carry a suppression saying why.
+    """
+
+    code = "GL107"
+    title = "@shared_state field rebound after publication to another thread"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.sources:
+            for cls in source.tree.body:
+                if not (
+                    isinstance(cls, ast.ClassDef) and _is_shared_state_class(cls)
+                ):
+                    continue
+                for method in cls.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    published = self._publication(method)
+                    if published is None:
+                        continue
+                    pub_line, pub_what = published
+                    for line, field_name in _unlocked_self_writes(
+                        method, after_line=pub_line
+                    ):
+                        yield Finding(
+                            code=self.code,
+                            path=source.path,
+                            line=line,
+                            message=(
+                                f"self.{field_name} rebound after {pub_what} "
+                                f"(line {pub_line}) published self to another "
+                                f"thread in {cls.name}.{method.name}; publish "
+                                "last, or take the lock both sides share"
+                            ),
+                        )
+
+    @staticmethod
+    def _publication(method: ast.AST) -> Optional[tuple[int, str]]:
+        """First (line, call) in ``method`` that hands self to a thread."""
+        best: Optional[tuple[int, str]] = None
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:
+                continue
+            if name not in PUBLICATION_CALLS:
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            mentions_self = any(
+                isinstance(sub, ast.Name) and sub.id == "self"
+                for arg in args
+                for sub in ast.walk(arg)
+            )
+            if not mentions_self:
+                continue
+            if best is None or node.lineno < best[0]:
+                best = (node.lineno, f"{name}(...)")
+        return best
